@@ -1,0 +1,68 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! half- vs full-duplex links, arbitration schemes, and skip-list write
+//! routing. These run short end-to-end simulations and report their wall
+//! clock; the *simulated* outcomes of the same ablations are what the
+//! fig10/fig12 binaries report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mn_core::{simulate, SystemConfig};
+use mn_noc::{ArbiterKind, LinkDuplex};
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+fn quick(topology: TopologyKind) -> SystemConfig {
+    let mut c = SystemConfig::paper_baseline(topology, 1.0).expect("valid");
+    c.requests_per_port = 600;
+    c
+}
+
+fn bench_duplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("duplex_ablation");
+    group.sample_size(10);
+    for duplex in [LinkDuplex::Half, LinkDuplex::Full] {
+        group.bench_function(format!("{duplex:?}"), |b| {
+            let mut config = quick(TopologyKind::Chain);
+            config.noc.duplex = duplex;
+            b.iter(|| simulate(&config, Workload::Dct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_ablation");
+    group.sample_size(10);
+    for arbiter in [
+        ArbiterKind::RoundRobin,
+        ArbiterKind::Distance,
+        ArbiterKind::AdaptiveDistance,
+    ] {
+        group.bench_function(format!("{arbiter:?}"), |b| {
+            let config = quick(TopologyKind::Chain).with_arbiter(arbiter);
+            b.iter(|| simulate(&config, Workload::Dct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skiplist_write_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist_write_routing");
+    group.sample_size(10);
+    for burst_routing in [false, true] {
+        group.bench_function(format!("burst_routing_{burst_routing}"), |b| {
+            let mut config = quick(TopologyKind::SkipList);
+            config.write_burst_routing = burst_routing;
+            b.iter(|| simulate(&config, Workload::Backprop))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_duplex,
+    bench_arbiters,
+    bench_skiplist_write_routing
+);
+criterion_main!(benches);

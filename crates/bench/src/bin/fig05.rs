@@ -1,0 +1,37 @@
+//! Fig. 5: breakdown of memory request latency (to memory / in memory /
+//! from memory) for chain, ring, and tree, normalized to the chain's total.
+//!
+//! Expected shape (§3.2): network latency dominates array latency under
+//! load; the request (to-memory) path out-queues the response path because
+//! responses are prioritized on the shared links; NW has the largest
+//! in-memory share.
+
+use mn_bench::{config_for, run_one};
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    println!("== Fig. 5: latency breakdown relative to chain total ==");
+    println!(
+        "{:<10} {:<6} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "topo", "to-mem", "in-mem", "from-mem", "total(ns)"
+    );
+    for wl in Workload::ALL {
+        let mut chain_total = None;
+        for topo in [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree] {
+            let result = run_one(&config_for(topo, 1.0, NvmPlacement::Last), wl);
+            let b = &result.breakdown;
+            let total = b.total_mean_ns();
+            let base = *chain_total.get_or_insert(total);
+            println!(
+                "{:<10} {:<6} {:>9.3} {:>10.3} {:>10.3} {:>9.1}ns",
+                wl.label(),
+                topo.label(),
+                b.to_memory.mean_ns() / base,
+                b.in_memory.mean_ns() / base,
+                b.from_memory.mean_ns() / base,
+                total,
+            );
+        }
+    }
+}

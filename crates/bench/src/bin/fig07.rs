@@ -1,0 +1,24 @@
+//! Fig. 7: the tree topology under different DRAM:NVM capacity ratios,
+//! normalized to the 100%-DRAM chain.
+//!
+//! Expected shape (§3.3): using some NVM remains well above the chain
+//! baseline; the all-NVM point varies most by workload and is weakest for
+//! low-contention workloads (NW).
+
+use mn_bench::{config_for, print_speedup_table, speedup_table};
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    let configs = vec![
+        config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last),
+        config_for(TopologyKind::Tree, 0.5, NvmPlacement::Last),
+        config_for(TopologyKind::Tree, 0.5, NvmPlacement::First),
+        config_for(TopologyKind::Tree, 0.0, NvmPlacement::Last),
+    ];
+    let rows = speedup_table(&configs, &Workload::ALL, None);
+    print_speedup_table(
+        "Fig. 7: tree topology with different DRAM:NVM ratios (vs 100%-Chain)",
+        &rows,
+    );
+}

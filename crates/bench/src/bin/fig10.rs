@@ -1,0 +1,41 @@
+//! Fig. 10: distance-based arbitration alone, on the twelve baseline
+//! configurations (chain/ring/tree x DRAM:NVM mixes), normalized to the
+//! 100%-Chain round-robin baseline. A second table isolates the
+//! arbitration delta (distance vs round-robin per configuration).
+//!
+//! Expected shape (§5.1): "mixed results" — distance-as-age helps most
+//! all-DRAM and NVM-L configurations but can invert on NVM-F, where nearby
+//! slow arrays make young-looking responses actually old.
+
+use mn_bench::{print_speedup_table, speedup_table, twelve_config_grid, SpeedupRow};
+use mn_noc::ArbiterKind;
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+fn main() {
+    let grid = twelve_config_grid([TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree]);
+    let with_distance = speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::Distance));
+    print_speedup_table(
+        "Fig. 10: distance-based arbitration on baseline topologies (vs 100%-C RR)",
+        &with_distance,
+    );
+
+    let with_rr = speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::RoundRobin));
+    let delta_rows: Vec<SpeedupRow> = with_distance
+        .iter()
+        .zip(&with_rr)
+        .map(|(d, r)| SpeedupRow {
+            workload: d.workload.clone(),
+            entries: d
+                .entries
+                .iter()
+                .zip(&r.entries)
+                .map(|((label, dp), (_, rp))| (label.clone(), dp - rp))
+                .collect(),
+        })
+        .collect();
+    print_speedup_table(
+        "Fig. 10 (delta view): distance arbitration minus round-robin, percentage points",
+        &delta_rows,
+    );
+}

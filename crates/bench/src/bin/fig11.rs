@@ -1,0 +1,24 @@
+//! Fig. 11: tree vs skip-list vs MetaCube with the default round-robin
+//! arbitration, across the DRAM:NVM mixes, normalized to 100%-Chain.
+//!
+//! Expected shape (§5.2): MetaCube wins essentially everywhere and is the
+//! one topology where 100% DRAM beats every NVM mix; skip-list trails the
+//! tree on write-heavy workloads (its writes ride the long chain) and
+//! shows its best relative results on NVM-L mixes.
+
+use mn_bench::{print_speedup_table, speedup_table, twelve_config_grid};
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+fn main() {
+    let grid = twelve_config_grid([
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+        TopologyKind::MetaCube,
+    ]);
+    let rows = speedup_table(&grid, &Workload::ALL, None);
+    print_speedup_table(
+        "Fig. 11: Tree vs SkipList vs MetaCube, round-robin arbitration (vs 100%-C)",
+        &rows,
+    );
+}

@@ -1,0 +1,28 @@
+//! Fig. 12: all techniques combined — tree/skip-list/MetaCube with
+//! adaptive (technology- and type-aware) distance arbitration, plus the
+//! write-burst routing policy on skip lists — normalized to 100%-Chain.
+//!
+//! Expected shape (§5.3): every configuration improves on its Fig. 11
+//! counterpart or holds; the skip-list regains the write-heavy losses
+//! (BACKPROP benefits most of all workloads); MetaCube stays on top.
+
+use mn_bench::{print_speedup_table, speedup_table, twelve_config_grid};
+use mn_noc::ArbiterKind;
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+fn main() {
+    let mut grid = twelve_config_grid([
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+        TopologyKind::MetaCube,
+    ]);
+    for config in &mut grid {
+        config.write_burst_routing = true; // only skip lists act on this
+    }
+    let rows = speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::AdaptiveDistance));
+    print_speedup_table(
+        "Fig. 12: all techniques combined — adaptive distance arbitration + write-burst routing (vs 100%-C)",
+        &rows,
+    );
+}

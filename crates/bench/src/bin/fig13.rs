@@ -1,0 +1,62 @@
+//! Fig. 13: sensitivity to the number of host memory ports — the 2 TB
+//! system served by four ports instead of eight (twice the cubes, and
+//! twice the traffic, per port). Reported as the change in speedup when
+//! moving from eight to four ports, per configuration.
+//!
+//! Expected shape (§6.1): linear topologies (chain, ring) degrade most as
+//! their hop counts double; 50% NVM-L suffers the worst of the mixes;
+//! all-NVM configurations move least (memory-latency-bound); MetaCube is
+//! nearly flat on some workloads.
+
+use mn_bench::{config_for, print_speedup_table, run_one, SpeedupRow};
+use mn_core::speedup_pct;
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    let mixes = [
+        (1.0, NvmPlacement::Last, "100%"),
+        (0.5, NvmPlacement::Last, "50% (NVM-L)"),
+        (0.5, NvmPlacement::First, "50% (NVM-F)"),
+        (0.0, NvmPlacement::Last, "0%"),
+    ];
+    let topologies = [
+        TopologyKind::Chain,
+        TopologyKind::Ring,
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+        TopologyKind::MetaCube,
+    ];
+
+    let mut rows = Vec::new();
+    for wl in Workload::ALL {
+        let mut entries = Vec::new();
+        for (frac, place, _) in mixes {
+            for topo in topologies {
+                let eight = config_for(topo, frac, place);
+                let mut four = eight.clone();
+                four.ports = 4;
+                // Hold total system work constant: each of the four ports
+                // serves twice the address space and twice the requests.
+                four.requests_per_port = eight.requests_per_port * 2;
+                let t8 = run_one(&eight, wl).wall;
+                let t4 = run_one(&four, wl).wall;
+                // Change in performance when halving the port count: the
+                // four-port system's speedup relative to the same
+                // configuration at eight ports.
+                entries.push((
+                    format!("{}%-{}", (frac * 100.0) as u32, topo.label()),
+                    speedup_pct(t8, t4),
+                ));
+            }
+        }
+        rows.push(SpeedupRow {
+            workload: wl.label().to_string(),
+            entries,
+        });
+    }
+    print_speedup_table(
+        "Fig. 13: speedup change moving from eight to four host ports (2 TB fixed)",
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 14: sensitivity to total capacity — a 1 TB system (half the cubes
+//! behind each port, same footprint pressure) versus the 2 TB baseline.
+//! Reported as the average speedup of 1 TB over 2 TB per configuration,
+//! averaged across workloads, as in the paper's figure.
+//!
+//! Expected shape (§6.2): all-DRAM configurations gain (shorter networks,
+//! memory latency roughly constant); the 50% and especially 0% NVM
+//! configurations lose — fewer cubes means less memory-level parallelism
+//! and more queuing inside the (slower) cubes.
+
+use mn_bench::{config_for, run_one};
+use mn_core::speedup_pct;
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    println!("== Fig. 14: average speedup of a 1 TB system over the 2 TB baseline ==");
+    let mixes = [
+        (1.0, NvmPlacement::Last, "100%"),
+        (0.5, NvmPlacement::Last, "50% (NVM-L)"),
+        (0.5, NvmPlacement::First, "50% (NVM-F)"),
+        (0.0, NvmPlacement::Last, "0%"),
+    ];
+    let topologies = [
+        TopologyKind::Chain,
+        TopologyKind::Ring,
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+        TopologyKind::MetaCube,
+    ];
+    println!("{:<14} {:<10} {:>12}", "mix", "topology", "avg speedup");
+    for (frac, place, mix_label) in mixes {
+        for topo in topologies {
+            let two_tb = config_for(topo, frac, place);
+            let mut one_tb = two_tb.clone();
+            one_tb.total_capacity_gb = 1024;
+            let mut sum = 0.0;
+            for wl in Workload::ALL {
+                let t2 = run_one(&two_tb, wl).wall;
+                let t1 = run_one(&one_tb, wl).wall;
+                sum += speedup_pct(t2, t1);
+            }
+            println!(
+                "{:<14} {:<10} {:>+11.2}%",
+                mix_label,
+                topo.to_string(),
+                sum / Workload::ALL.len() as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 15: breakdown of network (transport) energy and read/write
+//! (memory access) energy, averaged across workloads, normalized to the
+//! total energy of the 100%-Chain MN.
+//!
+//! Expected shape (§6.3): network energy dominates all-DRAM MNs and grows
+//! with hop count (chain worst, tree least among cube-only topologies;
+//! skip-list above tree because writes detour); the all-NVM chain cuts
+//! network energy roughly 3x but its write energy pushes the total above
+//! the baseline.
+
+use mn_bench::{config_for, run_one};
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    println!("== Fig. 15: energy breakdown relative to 100%-C total ==");
+    let mixes = [
+        (1.0, NvmPlacement::Last),
+        (0.5, NvmPlacement::Last),
+        (0.5, NvmPlacement::First),
+        (0.0, NvmPlacement::Last),
+    ];
+    let topologies = [
+        TopologyKind::Chain,
+        TopologyKind::Ring,
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+        TopologyKind::MetaCube,
+    ];
+
+    // Average energy per configuration across all workloads.
+    let mut table = Vec::new();
+    for (frac, place) in mixes {
+        for topo in topologies {
+            let config = config_for(topo, frac, place);
+            let mut network = 0.0;
+            let mut read = 0.0;
+            let mut write = 0.0;
+            for wl in Workload::ALL {
+                let e = run_one(&config, wl).energy;
+                network += e.network.as_pj();
+                read += e.read.as_pj();
+                write += e.write.as_pj();
+            }
+            let n = Workload::ALL.len() as f64;
+            table.push((config.label(), network / n, read / n, write / n));
+        }
+    }
+    let baseline_total: f64 = table
+        .iter()
+        .find(|(label, ..)| label == "100%-C")
+        .map(|(_, n, r, w)| n + r + w)
+        .expect("baseline present");
+
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}",
+        "config", "network", "read", "write", "total"
+    );
+    for (label, n, r, w) in table {
+        println!(
+            "{label:<18} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            n / baseline_total * 100.0,
+            r / baseline_total * 100.0,
+            w / baseline_total * 100.0,
+            (n + r + w) / baseline_total * 100.0,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Reproduces §5's SerDes-latency claim: "we experimented modifying this
+//! parameter and found that 2 ns made little difference compared to no
+//! latency, however larger values (e.g., 10 ns) have a large impact on
+//! network latency."
+
+use mn_bench::{config_for, run_one};
+use mn_core::speedup_pct;
+use mn_sim::SimDuration;
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    println!("== SerDes per-hop latency sweep (chain, all-DRAM) ==");
+    println!(
+        "{:<10} {:>8} {:>12} {:>14} {:>12}",
+        "workload", "serdes", "wall", "net lat(ns)", "vs 2ns"
+    );
+    for wl in [Workload::Dct, Workload::Kmeans] {
+        let mut base_wall = None;
+        let mut rows = Vec::new();
+        for ns in [0u64, 2, 10] {
+            let mut config = config_for(TopologyKind::Chain, 1.0, NvmPlacement::Last);
+            config.noc.external_link.fixed_latency = SimDuration::from_ns(ns);
+            let r = run_one(&config, wl);
+            if ns == 2 {
+                base_wall = Some(r.wall);
+            }
+            rows.push((ns, r));
+        }
+        let base = base_wall.expect("2 ns row present");
+        for (ns, r) in rows {
+            let b = &r.breakdown;
+            println!(
+                "{:<10} {:>6}ns {:>12} {:>14.1} {:>+11.1}%",
+                wl.label(),
+                ns,
+                format!("{}", r.wall),
+                b.to_memory.mean_ns() + b.from_memory.mean_ns(),
+                speedup_pct(r.wall, base),
+            );
+        }
+        println!();
+    }
+    println!("expected shape: 0 ns ≈ 2 ns (small deltas); 10 ns much slower.");
+}

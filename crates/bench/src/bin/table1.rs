@@ -1,0 +1,60 @@
+//! Table 1: maximum DDR bus speed vs. DIMMs per channel, plus the
+//! capacity/bandwidth tradeoff and the pin-cost comparison that motivate
+//! memory networks (§1–2.1).
+
+use mn_mem::ddr::{
+    channel_bandwidth_gbs, cube_links_for_pin_budget, max_speed_mhz, DdrGeneration, DdrSystem,
+    CUBE_LINK_BANDWIDTH_GBS, MAX_DPC,
+};
+
+fn main() {
+    println!("== Table 1: max memory interface speed vs DIMMs per channel ==");
+    println!("{:<16} {:>10} {:>10}", "Number of DPC", "DDR3", "DDR4");
+    for dpc in 1..=MAX_DPC {
+        let d3 = max_speed_mhz(DdrGeneration::Ddr3, dpc).expect("supported");
+        let d4 = max_speed_mhz(DdrGeneration::Ddr4, dpc).expect("supported");
+        println!("{dpc:<16} {d3:>7} MHz {d4:>7} MHz");
+    }
+
+    println!("\n== capacity/bandwidth tradeoff (4-channel DDR3 server, 32 GB DIMMs) ==");
+    println!(
+        "{:<6} {:>12} {:>14} {:>16}",
+        "DPC", "capacity", "bandwidth", "GB/s per 100GB"
+    );
+    for dpc in 1..=MAX_DPC {
+        let sys = DdrSystem {
+            generation: DdrGeneration::Ddr3,
+            channels: 4,
+            dpc,
+            dimm_gb: 32,
+        };
+        println!(
+            "{:<6} {:>9} GB {:>9.1} GB/s {:>16.2}",
+            dpc,
+            sys.capacity_gb(),
+            sys.bandwidth_gbs().expect("supported"),
+            sys.bandwidth_per_gb().expect("supported") * 100.0,
+        );
+    }
+
+    println!("\n== pin-cost comparison (§1, §2.2) ==");
+    let server = DdrSystem {
+        generation: DdrGeneration::Ddr4,
+        channels: 4,
+        dpc: 2,
+        dimm_gb: 32,
+    };
+    let links = cube_links_for_pin_budget(DdrGeneration::Ddr4, 4);
+    println!(
+        "4-channel DDR4: {} pins, {:.1} GB/s peak",
+        server.pins(),
+        server.bandwidth_gbs().expect("supported")
+    );
+    println!(
+        "same pins as memory-cube links: {} links, {:.0} GB/s peak ({}x channels)",
+        links,
+        f64::from(links) * CUBE_LINK_BANDWIDTH_GBS,
+        links / 4
+    );
+    let _ = channel_bandwidth_gbs(2133);
+}

@@ -1,0 +1,199 @@
+//! # mn-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the
+//! index). This library holds the shared sweep/printing machinery so each
+//! binary stays a declarative description of its experiment.
+//!
+//! All experiment binaries honor two environment variables:
+//!
+//! - `MN_REQUESTS` — requests per simulated port (default 6000; larger
+//!   runs are smoother but slower),
+//! - `MN_SEED` — RNG seed (default the configs' built-in seed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use mn_core::{simulate, speedup_pct, RunResult, SystemConfig};
+use mn_noc::ArbiterKind;
+use mn_sim::SimTime;
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+/// Requests per port for experiment runs (`MN_REQUESTS`, default 6000).
+pub fn requests_per_port() -> u64 {
+    std::env::var("MN_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6_000)
+}
+
+/// Optional seed override (`MN_SEED`).
+pub fn seed_override() -> Option<u64> {
+    std::env::var("MN_SEED").ok().and_then(|v| v.parse().ok())
+}
+
+/// Applies the harness environment knobs to a config.
+pub fn tune(mut config: SystemConfig) -> SystemConfig {
+    config.requests_per_port = requests_per_port();
+    if let Some(seed) = seed_override() {
+        config.seed = seed;
+    }
+    config
+}
+
+/// Builds the paper's configuration for (topology, DRAM fraction,
+/// placement) with the baseline round-robin arbitration.
+///
+/// # Panics
+///
+/// Panics if the mix is unrealizable (the paper's grid never is).
+pub fn config_for(
+    topology: TopologyKind,
+    dram_fraction: f64,
+    placement: NvmPlacement,
+) -> SystemConfig {
+    tune(
+        SystemConfig::paper_baseline(topology, dram_fraction)
+            .expect("paper grid mixes are realizable")
+            .with_nvm_placement(placement),
+    )
+}
+
+/// The 12-configuration grid of Figs. 10–12: three topologies x the four
+/// DRAM:NVM mixes, in the paper's column order.
+pub fn twelve_config_grid(topologies: [TopologyKind; 3]) -> Vec<SystemConfig> {
+    let mixes = [
+        (1.0, NvmPlacement::Last),
+        (0.5, NvmPlacement::Last),
+        (0.5, NvmPlacement::First),
+        (0.0, NvmPlacement::Last),
+    ];
+    let mut grid = Vec::new();
+    for (frac, place) in mixes {
+        for topo in topologies {
+            grid.push(config_for(topo, frac, place));
+        }
+    }
+    grid
+}
+
+/// Runs the `100%-C` round-robin baseline for every workload and returns
+/// its wall times, keyed by workload label.
+pub fn chain_baselines(workloads: &[Workload]) -> HashMap<String, SimTime> {
+    workloads
+        .iter()
+        .map(|&wl| {
+            let base = config_for(TopologyKind::Chain, 1.0, NvmPlacement::Last);
+            (wl.label().to_string(), simulate(&base, wl).wall)
+        })
+        .collect()
+}
+
+/// One row of a speedup table: workload label plus `(config label, %)`.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Workload label.
+    pub workload: String,
+    /// `(configuration label, speedup percent)` pairs in column order.
+    pub entries: Vec<(String, f64)>,
+}
+
+/// Runs `configs` x `workloads`, normalizing to the `100%-C` baseline, and
+/// optionally overriding the arbitration scheme.
+pub fn speedup_table(
+    configs: &[SystemConfig],
+    workloads: &[Workload],
+    arbiter: Option<ArbiterKind>,
+) -> Vec<SpeedupRow> {
+    let baselines = chain_baselines(workloads);
+    let mut rows = Vec::new();
+    for &wl in workloads {
+        let base = baselines[wl.label()];
+        let mut entries = Vec::new();
+        for config in configs {
+            let mut config = config.clone();
+            if let Some(arb) = arbiter {
+                config.noc.arbiter = arb;
+            }
+            let result = simulate(&config, wl);
+            entries.push((config.label(), speedup_pct(base, result.wall)));
+        }
+        rows.push(SpeedupRow {
+            workload: wl.label().to_string(),
+            entries,
+        });
+    }
+    rows
+}
+
+/// Prints a speedup table with an `average` row, matching the paper's
+/// figure layout (workloads as rows, configurations as columns).
+pub fn print_speedup_table(title: &str, rows: &[SpeedupRow]) {
+    println!("\n== {title} ==");
+    let Some(first) = rows.first() else {
+        println!("(no data)");
+        return;
+    };
+    print!("{:<10}", "workload");
+    for (label, _) in &first.entries {
+        print!(" {label:>16}");
+    }
+    println!();
+    let cols = first.entries.len();
+    let mut sums = vec![0.0; cols];
+    for row in rows {
+        print!("{:<10}", row.workload);
+        for (i, (_, pct)) in row.entries.iter().enumerate() {
+            print!(" {pct:>+15.1}%");
+            sums[i] += pct;
+        }
+        println!();
+    }
+    print!("{:<10}", "average");
+    for sum in sums {
+        print!(" {:>+15.1}%", sum / rows.len() as f64);
+    }
+    println!();
+}
+
+/// Convenience: run one configuration under one workload.
+pub fn run_one(config: &SystemConfig, workload: Workload) -> RunResult {
+    simulate(config, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_twelve_configs() {
+        let grid =
+            twelve_config_grid([TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree]);
+        assert_eq!(grid.len(), 12);
+        assert_eq!(grid[0].label(), "100%-C");
+        assert_eq!(grid[5].label(), "50%-T (NVM-L)");
+        assert_eq!(grid[11].label(), "0%-T");
+    }
+
+    #[test]
+    fn tune_applies_env_defaults() {
+        let c = config_for(TopologyKind::Chain, 1.0, NvmPlacement::Last);
+        assert!(c.requests_per_port > 0);
+    }
+
+    #[test]
+    fn speedup_table_is_consistent() {
+        let mut configs = vec![config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last)];
+        configs[0].requests_per_port = 300;
+        let mut fast = configs.clone();
+        fast[0].requests_per_port = 300;
+        // Using a tiny run, the table machinery produces one row/column.
+        std::env::set_var("MN_REQUESTS", "300");
+        let rows = speedup_table(&fast, &[Workload::Nw], None);
+        std::env::remove_var("MN_REQUESTS");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].entries.len(), 1);
+    }
+}

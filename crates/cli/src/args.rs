@@ -1,0 +1,405 @@
+//! Argument parsing for the `mncube` binary.
+//!
+//! Deliberately hand-rolled: the workspace keeps its dependencies to the
+//! simulation essentials, and the grammar is small — four subcommands with
+//! `--flag value` options.
+
+use std::error::Error;
+use std::fmt;
+
+use mn_noc::ArbiterKind;
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+/// A bad invocation, with a message suitable for direct printing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+/// Arguments of `mncube run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// MN topology.
+    pub topology: TopologyKind,
+    /// Workload proxy.
+    pub workload: Workload,
+    /// DRAM capacity percentage (100, 50, 0, ...).
+    pub dram_pct: u32,
+    /// NVM placement.
+    pub placement: NvmPlacement,
+    /// Arbitration scheme.
+    pub arbiter: ArbiterKind,
+    /// Requests per port.
+    pub requests: u64,
+    /// Enable write-burst routing on skip lists.
+    pub write_burst: bool,
+    /// RNG seed override.
+    pub seed: Option<u64>,
+}
+
+/// Arguments of `mncube compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Workload proxy.
+    pub workload: Workload,
+    /// Arbitration scheme.
+    pub arbiter: ArbiterKind,
+    /// Requests per port.
+    pub requests: u64,
+}
+
+/// Arguments of `mncube topo`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoArgs {
+    /// MN topology.
+    pub topology: TopologyKind,
+    /// Number of cubes.
+    pub cubes: u32,
+    /// DRAM capacity percentage.
+    pub dram_pct: u32,
+    /// NVM placement.
+    pub placement: NvmPlacement,
+}
+
+/// Arguments of `mncube sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// MN topology.
+    pub topology: TopologyKind,
+    /// Workload proxy.
+    pub workload: Workload,
+    /// Requests per port.
+    pub requests: u64,
+}
+
+/// A parsed `mncube` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Simulate one configuration and print its full report.
+    Run(RunArgs),
+    /// Compare every topology under one workload.
+    Compare(CompareArgs),
+    /// Render a topology and its structural metrics.
+    Topo(TopoArgs),
+    /// Sweep the DRAM:NVM ratio for one topology.
+    Sweep(SweepArgs),
+    /// Print usage.
+    Help,
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+mncube — memory-network simulator (ISCA'17 'There and Back Again')
+
+USAGE:
+    mncube run     [--topology T] [--workload W] [--dram PCT] [--placement P]
+                   [--arbiter A] [--requests N] [--write-burst] [--seed S]
+    mncube compare [--workload W] [--arbiter A] [--requests N]
+    mncube topo    [--topology T] [--cubes N] [--dram PCT] [--placement P]
+    mncube sweep   [--topology T] [--workload W] [--requests N]
+    mncube help
+
+VALUES:
+    T:   chain | ring | tree | skiplist | metacube | mesh
+    W:   backprop | bit | buff | dct | hotspot | kmeans | matrixmul | nw
+    PCT: 100 | 75 | 50 | 25 | 0       (DRAM share of capacity)
+    P:   first | last                 (NVM placement)
+    A:   rr | distance | adaptive | oracle
+";
+
+fn parse_topology(s: &str) -> Result<TopologyKind, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "chain" | "c" => Ok(TopologyKind::Chain),
+        "ring" | "r" => Ok(TopologyKind::Ring),
+        "tree" | "t" => Ok(TopologyKind::Tree),
+        "skiplist" | "skip-list" | "sl" => Ok(TopologyKind::SkipList),
+        "metacube" | "mc" => Ok(TopologyKind::MetaCube),
+        "mesh" | "m" => Ok(TopologyKind::Mesh),
+        other => Err(err(format!("unknown topology '{other}'"))),
+    }
+}
+
+fn parse_workload(s: &str) -> Result<Workload, ArgError> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| err(format!("unknown workload '{s}'")))
+}
+
+fn parse_placement(s: &str) -> Result<NvmPlacement, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "first" | "f" | "nvm-f" => Ok(NvmPlacement::First),
+        "last" | "l" | "nvm-l" => Ok(NvmPlacement::Last),
+        other => Err(err(format!("unknown placement '{other}'"))),
+    }
+}
+
+fn parse_arbiter(s: &str) -> Result<ArbiterKind, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "rr" | "roundrobin" | "round-robin" => Ok(ArbiterKind::RoundRobin),
+        "distance" | "dist" => Ok(ArbiterKind::Distance),
+        "adaptive" | "adaptive-distance" => Ok(ArbiterKind::AdaptiveDistance),
+        "oracle" | "age" => Ok(ArbiterKind::OracleAge),
+        other => Err(err(format!("unknown arbiter '{other}'"))),
+    }
+}
+
+fn parse_u64(flag: &str, s: &str) -> Result<u64, ArgError> {
+    s.parse()
+        .map_err(|_| err(format!("{flag} expects a number, got '{s}'")))
+}
+
+/// A tiny `--flag value` cursor.
+struct Cursor<'a> {
+    args: &'a [String],
+    index: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let arg = self.args.get(self.index)?;
+        self.index += 1;
+        Some(arg.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, ArgError> {
+        let value = self
+            .args
+            .get(self.index)
+            .ok_or_else(|| err(format!("{flag} expects a value")))?;
+        self.index += 1;
+        Ok(value.as_str())
+    }
+}
+
+impl Command {
+    /// Parses a full argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] with a human-readable message on any unknown
+    /// subcommand, flag, or malformed value.
+    pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+        let Some(sub) = args.first() else {
+            return Ok(Command::Help);
+        };
+        let mut cursor = Cursor {
+            args: &args[1..],
+            index: 0,
+        };
+        match sub.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "run" => {
+                let mut parsed = RunArgs {
+                    topology: TopologyKind::Tree,
+                    workload: Workload::Dct,
+                    dram_pct: 100,
+                    placement: NvmPlacement::Last,
+                    arbiter: ArbiterKind::RoundRobin,
+                    requests: 6_000,
+                    write_burst: false,
+                    seed: None,
+                };
+                while let Some(flag) = cursor.next_flag() {
+                    match flag {
+                        "--topology" => parsed.topology = parse_topology(cursor.value(flag)?)?,
+                        "--workload" => parsed.workload = parse_workload(cursor.value(flag)?)?,
+                        "--dram" => {
+                            parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32
+                        }
+                        "--placement" => parsed.placement = parse_placement(cursor.value(flag)?)?,
+                        "--arbiter" => parsed.arbiter = parse_arbiter(cursor.value(flag)?)?,
+                        "--requests" => parsed.requests = parse_u64(flag, cursor.value(flag)?)?,
+                        "--write-burst" => parsed.write_burst = true,
+                        "--seed" => parsed.seed = Some(parse_u64(flag, cursor.value(flag)?)?),
+                        other => return Err(err(format!("unknown flag '{other}' for run"))),
+                    }
+                }
+                Ok(Command::Run(parsed))
+            }
+            "compare" => {
+                let mut parsed = CompareArgs {
+                    workload: Workload::Dct,
+                    arbiter: ArbiterKind::RoundRobin,
+                    requests: 6_000,
+                };
+                while let Some(flag) = cursor.next_flag() {
+                    match flag {
+                        "--workload" => parsed.workload = parse_workload(cursor.value(flag)?)?,
+                        "--arbiter" => parsed.arbiter = parse_arbiter(cursor.value(flag)?)?,
+                        "--requests" => parsed.requests = parse_u64(flag, cursor.value(flag)?)?,
+                        other => return Err(err(format!("unknown flag '{other}' for compare"))),
+                    }
+                }
+                Ok(Command::Compare(parsed))
+            }
+            "topo" => {
+                let mut parsed = TopoArgs {
+                    topology: TopologyKind::SkipList,
+                    cubes: 16,
+                    dram_pct: 100,
+                    placement: NvmPlacement::Last,
+                };
+                let mut explicit_cubes = false;
+                while let Some(flag) = cursor.next_flag() {
+                    match flag {
+                        "--topology" => parsed.topology = parse_topology(cursor.value(flag)?)?,
+                        "--cubes" => {
+                            parsed.cubes = parse_u64(flag, cursor.value(flag)?)? as u32;
+                            explicit_cubes = true;
+                        }
+                        "--dram" => {
+                            parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32
+                        }
+                        "--placement" => parsed.placement = parse_placement(cursor.value(flag)?)?,
+                        other => return Err(err(format!("unknown flag '{other}' for topo"))),
+                    }
+                }
+                if parsed.dram_pct != 100 && explicit_cubes {
+                    return Err(err("--cubes applies to all-DRAM views; with --dram the cube count follows the mix"));
+                }
+                Ok(Command::Topo(parsed))
+            }
+            "sweep" => {
+                let mut parsed = SweepArgs {
+                    topology: TopologyKind::Tree,
+                    workload: Workload::Dct,
+                    requests: 6_000,
+                };
+                while let Some(flag) = cursor.next_flag() {
+                    match flag {
+                        "--topology" => parsed.topology = parse_topology(cursor.value(flag)?)?,
+                        "--workload" => parsed.workload = parse_workload(cursor.value(flag)?)?,
+                        "--requests" => parsed.requests = parse_u64(flag, cursor.value(flag)?)?,
+                        other => return Err(err(format!("unknown flag '{other}' for sweep"))),
+                    }
+                }
+                Ok(Command::Sweep(parsed))
+            }
+            other => Err(err(format!(
+                "unknown subcommand '{other}' (try 'mncube help')"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ArgError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Command::parse(&owned)
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&["help"]), Ok(Command::Help));
+        assert_eq!(parse(&["--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(a) = parse(&["run"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.topology, TopologyKind::Tree);
+        assert_eq!(a.workload, Workload::Dct);
+        assert_eq!(a.dram_pct, 100);
+        assert!(!a.write_burst);
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let Command::Run(a) = parse(&[
+            "run",
+            "--topology",
+            "skiplist",
+            "--workload",
+            "BACKPROP",
+            "--dram",
+            "50",
+            "--placement",
+            "first",
+            "--arbiter",
+            "adaptive",
+            "--requests",
+            "1234",
+            "--write-burst",
+            "--seed",
+            "9",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(a.topology, TopologyKind::SkipList);
+        assert_eq!(a.workload, Workload::Backprop);
+        assert_eq!(a.dram_pct, 50);
+        assert_eq!(a.placement, NvmPlacement::First);
+        assert_eq!(a.arbiter, ArbiterKind::AdaptiveDistance);
+        assert_eq!(a.requests, 1234);
+        assert!(a.write_burst);
+        assert_eq!(a.seed, Some(9));
+    }
+
+    #[test]
+    fn topology_aliases() {
+        for (s, k) in [
+            ("c", TopologyKind::Chain),
+            ("MC", TopologyKind::MetaCube),
+            ("skip-list", TopologyKind::SkipList),
+            ("mesh", TopologyKind::Mesh),
+        ] {
+            assert_eq!(parse_topology(s).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn arbiter_aliases() {
+        assert_eq!(parse_arbiter("rr").unwrap(), ArbiterKind::RoundRobin);
+        assert_eq!(parse_arbiter("oracle").unwrap(), ArbiterKind::OracleAge);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let e = parse(&["run", "--topology", "torus"]).unwrap_err();
+        assert!(e.to_string().contains("torus"));
+        let e = parse(&["run", "--requests"]).unwrap_err();
+        assert!(e.to_string().contains("expects a value"));
+        let e = parse(&["fly"]).unwrap_err();
+        assert!(e.to_string().contains("fly"));
+        let e = parse(&["run", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn compare_and_sweep_parse() {
+        assert!(matches!(
+            parse(&["compare", "--workload", "nw"]),
+            Ok(Command::Compare(_))
+        ));
+        assert!(matches!(
+            parse(&["sweep", "--topology", "ring"]),
+            Ok(Command::Sweep(_))
+        ));
+    }
+
+    #[test]
+    fn topo_cube_mix_conflict() {
+        assert!(parse(&["topo", "--cubes", "8", "--dram", "50"]).is_err());
+        assert!(parse(&["topo", "--cubes", "8"]).is_ok());
+        assert!(parse(&["topo", "--dram", "50"]).is_ok());
+    }
+}

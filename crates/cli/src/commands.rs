@@ -1,0 +1,256 @@
+//! Execution of parsed commands.
+
+use std::fmt::Write as _;
+
+use mn_core::{simulate, speedup_pct, RunResult, SystemConfig};
+use mn_topo::{render_ascii, Placement, Topology, TopologyKind, TopologyMetrics};
+
+use crate::args::{ArgError, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs, USAGE};
+
+fn build_config(
+    topology: TopologyKind,
+    dram_pct: u32,
+    placement: mn_topo::NvmPlacement,
+    requests: u64,
+) -> Result<SystemConfig, ArgError> {
+    let mut config = SystemConfig::paper_baseline(topology, f64::from(dram_pct) / 100.0)
+        .map_err(|e| ArgError(e.to_string()))?
+        .with_nvm_placement(placement);
+    config.requests_per_port = requests;
+    Ok(config)
+}
+
+fn report(result: &RunResult) -> String {
+    let b = &result.breakdown;
+    let (to, inm, from) = b.fractions();
+    let mut out = String::new();
+    let _ = writeln!(out, "configuration   {}", result.label);
+    let _ = writeln!(out, "workload        {}", result.workload);
+    let _ = writeln!(out, "wall time       {}", result.wall);
+    let _ = writeln!(
+        out,
+        "requests        {} reads, {} writes",
+        result.reads, result.writes
+    );
+    let _ = writeln!(
+        out,
+        "throughput      {:.1} requests/us",
+        result.throughput_per_us()
+    );
+    let _ = writeln!(
+        out,
+        "latency         to {:.1} ns ({:.0}%) | in {:.1} ns ({:.0}%) | from {:.1} ns ({:.0}%)",
+        b.to_memory.mean_ns(),
+        to * 100.0,
+        b.in_memory.mean_ns(),
+        inm * 100.0,
+        b.from_memory.mean_ns(),
+        from * 100.0,
+    );
+    let _ = writeln!(
+        out,
+        "read latency    p50 {} | p95 {} | p99 {}",
+        result.read_latency_quantile(0.50),
+        result.read_latency_quantile(0.95),
+        result.read_latency_quantile(0.99),
+    );
+    let _ = writeln!(out, "avg hops        {:.2}", result.avg_hops);
+    let _ = writeln!(
+        out,
+        "row-buffer hits {:.0}%",
+        result.row_hit_rate * 100.0
+    );
+    let e = &result.energy;
+    let _ = writeln!(
+        out,
+        "energy          network {:.1} uJ | reads {:.1} uJ | writes {:.1} uJ | total {:.1} uJ",
+        e.network.as_uj(),
+        e.read.as_uj(),
+        e.write.as_uj(),
+        e.total().as_uj(),
+    );
+    out
+}
+
+fn run(args: &RunArgs) -> Result<String, ArgError> {
+    let mut config = build_config(args.topology, args.dram_pct, args.placement, args.requests)?;
+    config.noc.arbiter = args.arbiter;
+    config.write_burst_routing = args.write_burst;
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    let result = simulate(&config, args.workload);
+    Ok(report(&result))
+}
+
+fn compare(args: &CompareArgs) -> Result<String, ArgError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} under every topology (all-DRAM, {:?} arbitration):\n",
+        args.workload.label(),
+        args.arbiter
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>10} {:>12}",
+        "topology", "wall", "vs chain", "energy (uJ)"
+    );
+    let mut chain_wall = None;
+    for topology in TopologyKind::ALL_EXTENDED {
+        let mut config = build_config(topology, 100, mn_topo::NvmPlacement::Last, args.requests)?;
+        config.noc.arbiter = args.arbiter;
+        let result = simulate(&config, args.workload);
+        let base = *chain_wall.get_or_insert(result.wall);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>+9.1}% {:>12.1}",
+            topology.to_string(),
+            format!("{}", result.wall),
+            speedup_pct(base, result.wall),
+            result.energy.total().as_uj(),
+        );
+    }
+    Ok(out)
+}
+
+fn topo(args: &TopoArgs) -> Result<String, ArgError> {
+    let placement = if args.dram_pct == 100 {
+        Placement::homogeneous(args.cubes as usize, mn_topo::CubeTech::Dram)
+    } else {
+        Placement::mixed_by_capacity(f64::from(args.dram_pct) / 100.0, args.placement)
+            .map_err(|e| ArgError(e.to_string()))?
+    };
+    let topology =
+        Topology::build(args.topology, &placement).map_err(|e| ArgError(e.to_string()))?;
+    let metrics = TopologyMetrics::compute(&topology);
+    let mut out = render_ascii(&topology);
+    let _ = writeln!(
+        out,
+        "\navg read hops {:.2} | max read {} | max write {} | {} links ({} unused by reads)",
+        metrics.avg_read_hops,
+        metrics.max_read_hops,
+        metrics.max_write_hops,
+        metrics.total_links,
+        metrics.read_unused_links,
+    );
+    Ok(out)
+}
+
+fn sweep(args: &SweepArgs) -> Result<String, ArgError> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "DRAM:NVM ratio sweep, {} on {}:\n",
+        args.workload.label(),
+        args.topology
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>12} {:>10} {:>12}",
+        "mix", "cubes", "wall", "vs 100%", "energy (uJ)"
+    );
+    let mut base = None;
+    for dram_pct in [100u32, 75, 50, 25, 0] {
+        let config = build_config(
+            args.topology,
+            dram_pct,
+            mn_topo::NvmPlacement::Last,
+            args.requests,
+        )?;
+        let cubes = config
+            .placement()
+            .map_err(|e| ArgError(e.to_string()))?
+            .cube_count();
+        let result = simulate(&config, args.workload);
+        let base_wall = *base.get_or_insert(result.wall);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>12} {:>+9.1}% {:>12.1}",
+            result.label,
+            cubes,
+            format!("{}", result.wall),
+            speedup_pct(base_wall, result.wall),
+            result.energy.total().as_uj(),
+        );
+    }
+    Ok(out)
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] when the configuration cannot be built (e.g. an
+/// unrealizable DRAM percentage).
+pub fn execute(command: &Command) -> Result<String, ArgError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Run(args) => run(args),
+        Command::Compare(args) => compare(args),
+        Command::Topo(args) => topo(args),
+        Command::Sweep(args) => sweep(args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunArgs;
+    use mn_noc::ArbiterKind;
+    use mn_topo::NvmPlacement;
+    use mn_workloads::Workload;
+
+    #[test]
+    fn help_prints_usage() {
+        let text = execute(&Command::Help).unwrap();
+        assert!(text.contains("mncube run"));
+        assert!(text.contains("skiplist"));
+    }
+
+    #[test]
+    fn run_produces_report() {
+        let text = execute(&Command::Run(RunArgs {
+            topology: TopologyKind::Chain,
+            workload: Workload::Nw,
+            dram_pct: 100,
+            placement: NvmPlacement::Last,
+            arbiter: ArbiterKind::RoundRobin,
+            requests: 300,
+            write_burst: false,
+            seed: Some(1),
+        }))
+        .unwrap();
+        assert!(text.contains("configuration   100%-C"));
+        assert!(text.contains("workload        NW"));
+        assert!(text.contains("row-buffer hits"));
+    }
+
+    #[test]
+    fn bad_mix_is_an_error_not_a_panic() {
+        let result = execute(&Command::Run(RunArgs {
+            topology: TopologyKind::Chain,
+            workload: Workload::Nw,
+            dram_pct: 90, // 90% does not divide into whole cubes
+            placement: NvmPlacement::Last,
+            arbiter: ArbiterKind::RoundRobin,
+            requests: 100,
+            write_burst: false,
+            seed: None,
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn topo_renders() {
+        let text = execute(&Command::Topo(crate::args::TopoArgs {
+            topology: TopologyKind::SkipList,
+            cubes: 16,
+            dram_pct: 100,
+            placement: NvmPlacement::Last,
+        }))
+        .unwrap();
+        assert!(text.contains("HOST"));
+        assert!(text.contains("max write 16"));
+    }
+}

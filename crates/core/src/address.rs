@@ -1,0 +1,234 @@
+//! Address decoding: per-port byte addresses to (cube, quadrant, bank, row).
+//!
+//! §5 of the paper: addresses interleave across the host's ports at 256 B
+//! granularity (handled upstream — each port's workload generator produces
+//! that port's address space directly), and requests are "uniformly
+//! interleaved based on their addresses" across the MN's cubes, so a cube
+//! holding 4x the capacity (NVM) receives 4x the requests. This module
+//! implements the intra-port half of that mapping.
+//!
+//! Layout: the port address space is divided into 256 B blocks. Block `b`
+//! maps to capacity unit `b % units`; each DRAM cube owns one unit and
+//! each NVM cube four, so traffic is proportional to capacity. A cube's
+//! units are spread evenly around the unit cycle (not concatenated), so a
+//! sequential burst does not dump consecutive blocks onto one NVM cube.
+//! Within a cube, successive owned blocks stripe across the four quadrants
+//! and their banks; rows aggregate eight 256 B blocks (a 2 KB row buffer).
+
+use mn_topo::{NodeId, Placement, Topology};
+
+/// Result of decoding an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddress {
+    /// The cube that owns the address.
+    pub cube: NodeId,
+    /// Quadrant within the cube (0..4).
+    pub quadrant: u32,
+    /// Bank within the quadrant.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// Precomputed address decoder for one port's MN.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    /// Capacity unit -> owning cube.
+    unit_to_cube: Vec<NodeId>,
+    interleave_bytes: u64,
+    banks_per_quadrant: u32,
+    /// 256 B blocks per row (2 KB rows).
+    blocks_per_row: u64,
+}
+
+impl AddressMap {
+    /// Builds the decoder for `topo` (whose cubes follow `placement`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's cube positions do not match the placement.
+    pub fn new(
+        topo: &Topology,
+        placement: &Placement,
+        interleave_bytes: u64,
+        banks_per_quadrant: u32,
+    ) -> AddressMap {
+        assert!(
+            interleave_bytes > 0,
+            "interleave granularity must be positive"
+        );
+        assert!(
+            banks_per_quadrant > 0,
+            "need at least one bank per quadrant"
+        );
+        // Deal unit slots to cubes round-robin by position until every
+        // cube has placed all its capacity units. A 4-unit NVM cube thus
+        // appears once per dealing cycle instead of four times in a row,
+        // so sequential bursts spread across cubes.
+        let mut remaining: Vec<(NodeId, u32)> = (1..=placement.cube_count() as u32)
+            .map(|pos| {
+                let cube = topo
+                    .cube_at_position(pos)
+                    .expect("placement position exists in topology");
+                (cube, placement.tech_at(pos).capacity_units())
+            })
+            .collect();
+        let mut unit_to_cube = Vec::new();
+        while remaining.iter().any(|&(_, k)| k > 0) {
+            for (cube, k) in &mut remaining {
+                if *k > 0 {
+                    unit_to_cube.push(*cube);
+                    *k -= 1;
+                }
+            }
+        }
+        AddressMap {
+            unit_to_cube,
+            interleave_bytes,
+            banks_per_quadrant,
+            blocks_per_row: 8,
+        }
+    }
+
+    /// Total capacity units (the interleave modulus).
+    pub fn units(&self) -> usize {
+        self.unit_to_cube.len()
+    }
+
+    /// Decodes a byte address.
+    pub fn decode(&self, addr: u64) -> DecodedAddress {
+        let block = addr / self.interleave_bytes;
+        let units = self.unit_to_cube.len() as u64;
+        let cube = self.unit_to_cube[(block % units) as usize];
+        // Blocks owned by this cube, in ownership order.
+        let block_in_cube = block / units;
+        let quadrant = (block_in_cube % 4) as u32;
+        let per_quadrant = block_in_cube / 4;
+        let bank = (per_quadrant % u64::from(self.banks_per_quadrant)) as u32;
+        let row = per_quadrant / u64::from(self.banks_per_quadrant) / self.blocks_per_row;
+        DecodedAddress {
+            cube,
+            quadrant,
+            bank,
+            row,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_topo::{CubeTech, NvmPlacement, TopologyKind};
+
+    fn map_for(dram_fraction: f64) -> (Topology, AddressMap, Placement) {
+        let placement = Placement::mixed_with_total(dram_fraction, NvmPlacement::Last, 16).unwrap();
+        let topo = Topology::build(TopologyKind::Chain, &placement).unwrap();
+        let map = AddressMap::new(&topo, &placement, 256, 64);
+        (topo, map, placement)
+    }
+
+    #[test]
+    fn homogeneous_units_equal_cubes() {
+        let (_, map, p) = map_for(1.0);
+        assert_eq!(map.units(), p.cube_count());
+    }
+
+    #[test]
+    fn traffic_proportional_to_capacity() {
+        let (topo, map, placement) = map_for(0.5); // 8 DRAM + 2 NVM
+        let mut counts = std::collections::HashMap::new();
+        for block in 0..16_000u64 {
+            let d = map.decode(block * 256);
+            *counts.entry(d.cube).or_insert(0u64) += 1;
+        }
+        let dram_cube = topo.cube_at_position(1).unwrap();
+        let nvm_cube = topo.cube_at_position(9).unwrap();
+        assert_eq!(placement.tech_at(9), CubeTech::Nvm);
+        let ratio = counts[&nvm_cube] as f64 / counts[&dram_cube] as f64;
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "NVM gets 4x traffic, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn consecutive_blocks_hit_different_cubes() {
+        let (_, map, _) = map_for(1.0);
+        let a = map.decode(0);
+        let b = map.decode(256);
+        assert_ne!(a.cube, b.cube);
+    }
+
+    #[test]
+    fn same_block_same_place() {
+        let (_, map, _) = map_for(1.0);
+        // Addresses within one 256 B block decode identically.
+        assert_eq!(map.decode(0), map.decode(255));
+        assert_ne!(map.decode(0), map.decode(256));
+    }
+
+    #[test]
+    fn quadrants_and_banks_stripe() {
+        let (_, map, _) = map_for(1.0);
+        // Successive blocks owned by the same cube (every 16th block)
+        // stripe across quadrants 0..4.
+        let quads: Vec<u32> = (0..8).map(|i| map.decode(i * 16 * 256).quadrant).collect();
+        assert_eq!(quads, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Banks advance once the quadrants wrap.
+        let d0 = map.decode(0);
+        let d4 = map.decode(4 * 16 * 256);
+        assert_eq!(d0.bank + 1, d4.bank);
+    }
+
+    #[test]
+    fn rows_aggregate_blocks() {
+        let (_, map, _) = map_for(1.0);
+        let d0 = map.decode(0);
+        // Same cube, same bank, 8 per-quadrant strides later => next row
+        // boundary is blocks_per_row (8) per-quadrant blocks away.
+        let stride = 16 * 4 * 64; // blocks to return to same (cube, quadrant, bank)
+        let same_row = map.decode(7 * stride * 256);
+        let next_row = map.decode(8 * stride * 256);
+        assert_eq!(same_row.row, d0.row);
+        assert_eq!(next_row.row, d0.row + 1);
+    }
+
+    #[test]
+    fn nvm_units_are_dealt_apart() {
+        // The paper mix: 8 DRAM + 2 NVM. Round-robin dealing must never
+        // place the same cube in two consecutive interleave slots, so a
+        // sequential burst cannot dump back-to-back blocks on one NVM cube.
+        let (_, map, _) = map_for(0.5);
+        let cubes: Vec<_> = (0..map.units() as u64 * 2)
+            .map(|b| map.decode(b * 256).cube)
+            .collect();
+        for pair in cubes.windows(2) {
+            assert_ne!(pair[0], pair[1], "consecutive blocks on one cube");
+        }
+    }
+
+    #[test]
+    fn works_on_every_topology() {
+        let placement = Placement::mixed_with_total(0.5, NvmPlacement::First, 16).unwrap();
+        for kind in TopologyKind::ALL_EXTENDED {
+            let topo = Topology::build(kind, &placement).unwrap();
+            let map = AddressMap::new(&topo, &placement, 256, 64);
+            assert_eq!(map.units(), 16, "{kind}");
+            // Each decoded cube is a real cube of this topology.
+            for b in 0..32u64 {
+                let d = map.decode(b * 256);
+                assert!(topo.node(d.cube).kind.is_cube(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn bank_in_range() {
+        let (_, map, _) = map_for(0.5);
+        for i in 0..10_000u64 {
+            let d = map.decode(i * 97 * 256); // arbitrary stride
+            assert!(d.quadrant < 4);
+            assert!(d.bank < 64);
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! One host memory port and its memory network, simulated end to end.
+//!
+//! Ports serve disjoint address slices (§2.3), so the system simulates each
+//! port's MN independently. `PortSim` owns the network, the per-cube
+//! quadrant controllers, the workload trace, and the host-side request
+//! window, and advances them in lockstep:
+//!
+//! ```text
+//! trace ──▶ host queue ──▶ inject ──▶ network ──▶ cube ejection
+//!                ▲  window                             │ (+1 ns wrong-quadrant)
+//!                │                                     ▼
+//! response ◀── network ◀── inject ◀── completion ◀── controller
+//! ```
+//!
+//! The latency of each phase is recorded against the three-way breakdown of
+//! Fig. 5: *to memory* (offer → cube arrival, including host queuing),
+//! *in memory* (cube arrival → data ready), *from memory* (data ready →
+//! response back at the host).
+//!
+//! ## Host model
+//!
+//! The host behaves like the paper's GPU: `window` wavefront-like slots,
+//! each cycling **think → issue a coalesced burst of misses → wait for the
+//! burst's last read response**. Think times are the burst's trace gaps
+//! scaled by the slot count, so the aggregate offered load matches the
+//! workload's intensity when memory is fast — and degrades smoothly as
+//! round-trip latency grows. Burst issue is what creates the deep,
+//! transient queues (and the arbitration pressure) the paper measures,
+//! without saturating the network's long-term bandwidth.
+//!
+//! Writes follow §4.2's "off the critical path" assumption: a slot does
+//! not wait for write acknowledgments — but the host tracks them against a
+//! bounded write buffer, so sustained write bursts eventually stall issue
+//! (BACKPROP's failure mode on slow write paths).
+
+use std::collections::{HashMap, VecDeque};
+
+use mn_mem::{EnergyPj, MemAccess, MemTechSpec, QuadrantController};
+use mn_noc::{Network, Packet, PacketKind, WriteBurstDetector};
+use mn_sim::{Histogram, SimDuration, SimRng, SimTime};
+use mn_topo::{CubeTech, NodeId, PathClass, Topology, TopologyKind};
+use mn_workloads::{MemRef, TraceGenerator};
+
+use crate::address::{AddressMap, DecodedAddress};
+use crate::config::SystemConfig;
+use crate::stats::{EnergyBreakdown, LatencyBreakdown};
+
+/// Quadrants per cube (Table 2's 256 banks in 4 quadrants).
+const QUADRANTS: u32 = 4;
+
+/// Intra-cube penalty when a request enters via the "wrong" quadrant (§5).
+const WRONG_QUADRANT_PENALTY: SimDuration = SimDuration::from_ns(1);
+
+/// Payload bits per access, for array energy (64 B lines).
+const ACCESS_BITS: u64 = 64 * 8;
+
+#[derive(Debug)]
+struct Inflight {
+    offered_at: SimTime,
+    arrived_at_cube: SimTime,
+    mem_done: SimTime,
+    decoded: DecodedAddress,
+    request: Packet,
+    tech: CubeTech,
+    burst: u64,
+}
+
+#[derive(Debug)]
+struct PendingResponse {
+    ready_at: SimTime,
+    cube: NodeId,
+    quadrant: u32,
+    packet: Packet,
+}
+
+/// Result of simulating one port to trace completion.
+#[derive(Debug)]
+pub(crate) struct PortResult {
+    pub wall: SimTime,
+    pub breakdown: LatencyBreakdown,
+    pub read_latency: Histogram,
+    pub energy: EnergyBreakdown,
+    pub reads: u64,
+    pub writes: u64,
+    pub row_hit_rate: f64,
+    pub avg_hops: f64,
+}
+
+/// The end-to-end simulator for one port's memory network.
+#[derive(Debug)]
+pub(crate) struct PortSim {
+    topo: Topology,
+    net: Network,
+    addr_map: AddressMap,
+    /// Controllers per cube node index (None for host/interface nodes).
+    controllers: Vec<Option<Vec<QuadrantController>>>,
+    cube_tech: Vec<Option<CubeTech>>,
+    trace: TraceGenerator,
+    detector: WriteBurstDetector,
+    intensity_scale: f64,
+
+    total_requests: u64,
+    window: usize,
+    write_burst_routing: bool,
+    transport_pj_per_bit_hop: f64,
+
+    /// Wavefront slots waiting out their think time: (due, burst refs).
+    thinking: Vec<(SimTime, Vec<MemRef>)>,
+    /// Remaining responses per in-flight burst.
+    bursts: HashMap<u64, u32>,
+    next_burst: u64,
+    burst_rng: SimRng,
+    pulled: u64,
+    host_queue: VecDeque<(u64, MemRef, SimTime, u64)>,
+    next_token: u64,
+    outstanding: usize,
+    outstanding_writes: usize,
+    write_cap: usize,
+    inflight: HashMap<u64, Inflight>,
+    pending_responses: Vec<PendingResponse>,
+
+    completed: u64,
+    reads: u64,
+    writes: u64,
+    hop_sum: u64,
+    breakdown: LatencyBreakdown,
+    read_latency: Histogram,
+    read_energy: EnergyPj,
+    write_energy: EnergyPj,
+    last_response_at: SimTime,
+}
+
+impl PortSim {
+    /// Builds the simulator for one port of `config` running `trace`.
+    pub(crate) fn new(config: &SystemConfig, trace: TraceGenerator) -> PortSim {
+        let placement = config
+            .placement()
+            .expect("config validated before simulation");
+        let topo = Topology::build(config.topology, &placement)
+            .expect("placement is valid for every topology");
+        let net = Network::new(&topo, config.noc.clone());
+        let addr_map = AddressMap::new(
+            &topo,
+            &placement,
+            config.interleave_bytes,
+            config.banks_per_quadrant,
+        );
+        let mut controllers = Vec::with_capacity(topo.node_count());
+        let mut cube_tech = Vec::with_capacity(topo.node_count());
+        for id in topo.node_ids() {
+            match topo.node(id).kind {
+                mn_topo::NodeKind::Cube(tech) => {
+                    let spec = match tech {
+                        CubeTech::Dram => MemTechSpec::dram_hbm(),
+                        CubeTech::Nvm => MemTechSpec::nvm_pcm(),
+                    };
+                    let quads = (0..QUADRANTS)
+                        .map(|_| {
+                            QuadrantController::new(
+                                spec,
+                                config.banks_per_quadrant,
+                                config.controller_queue,
+                            )
+                        })
+                        .collect();
+                    controllers.push(Some(quads));
+                    cube_tech.push(Some(tech));
+                }
+                _ => {
+                    controllers.push(None);
+                    cube_tech.push(None);
+                }
+            }
+        }
+        PortSim {
+            topo,
+            net,
+            addr_map,
+            controllers,
+            cube_tech,
+            trace,
+            detector: WriteBurstDetector::paper_default(),
+            intensity_scale: config.intensity_scale(),
+            total_requests: config.requests_per_port,
+            window: config.window,
+            write_burst_routing: config.write_burst_routing
+                && config.topology == TopologyKind::SkipList,
+            transport_pj_per_bit_hop: config.noc.transport_pj_per_bit_hop,
+            thinking: Vec::new(),
+            bursts: HashMap::new(),
+            next_burst: 0,
+            burst_rng: SimRng::seed_from(config.seed ^ 0xB0B5_7EA5),
+            pulled: 0,
+            host_queue: VecDeque::new(),
+            next_token: 0,
+            outstanding: 0,
+            outstanding_writes: 0,
+            write_cap: config.host_write_buffer,
+            inflight: HashMap::new(),
+            pending_responses: Vec::new(),
+            completed: 0,
+            reads: 0,
+            writes: 0,
+            hop_sum: 0,
+            breakdown: LatencyBreakdown::default(),
+            read_latency: Histogram::new(),
+            read_energy: EnergyPj::ZERO,
+            write_energy: EnergyPj::ZERO,
+            last_response_at: SimTime::ZERO,
+        }
+    }
+
+    /// Runs the port to trace completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation wedges (no component can make progress
+    /// while requests remain) — that would be a simulator bug, not a
+    /// configuration error.
+    pub(crate) fn run(mut self) -> PortResult {
+        let mut now = SimTime::ZERO;
+        self.spawn_threads();
+        while self.completed < self.total_requests {
+            // Fixpoint at `now`: keep moving work until nothing changes.
+            loop {
+                let mut progress = false;
+                progress |= self.stage_and_offer(now);
+                progress |= self.inject_host(now);
+                let ready = self.net.advance(now);
+                if !ready.is_empty() {
+                    progress = true;
+                    for node in ready {
+                        self.drain_node(node, now);
+                    }
+                }
+                progress |= self.advance_controllers(now);
+                progress |= self.inject_responses(now);
+                if !progress {
+                    break;
+                }
+            }
+            if self.completed >= self.total_requests {
+                break;
+            }
+            now = self.next_time(now).unwrap_or_else(|| {
+                panic!(
+                    "simulation wedged at {now}: {} of {} requests complete, \
+                     {} outstanding, {} queued",
+                    self.completed,
+                    self.total_requests,
+                    self.outstanding,
+                    self.host_queue.len()
+                )
+            });
+        }
+
+        let (hits, accesses) = self.row_hit_counts();
+        let delivered = self.net.stats().delivered.value().max(1);
+        PortResult {
+            wall: self.last_response_at,
+            breakdown: self.breakdown,
+            read_latency: self.read_latency,
+            energy: EnergyBreakdown {
+                network: EnergyPj::from_pj(
+                    self.net
+                        .stats()
+                        .transport_energy_pj(self.transport_pj_per_bit_hop),
+                ),
+                read: self.read_energy,
+                write: self.write_energy,
+            },
+            reads: self.reads,
+            writes: self.writes,
+            row_hit_rate: if accesses == 0 {
+                0.0
+            } else {
+                hits as f64 / accesses as f64
+            },
+            avg_hops: self.hop_sum as f64 / delivered as f64,
+        }
+    }
+
+    /// Pulls one coalesced burst from the trace: a geometric number of
+    /// references (mean = the workload's `burst_mean`) issued back to back.
+    /// The burst's think time is the sum of its references' trace gaps
+    /// scaled by the slot count (so `window` slots collectively offer the
+    /// workload's intensity) and by the §6.1 port-concentration factor.
+    fn pull_burst(&mut self) -> Option<(Vec<MemRef>, SimDuration)> {
+        if self.pulled >= self.total_requests {
+            return None;
+        }
+        let remaining = self.total_requests - self.pulled;
+        let mean = self.trace.profile().burst_mean.max(1.0);
+        let p_stop = 1.0 / mean;
+        let len = (1 + self.burst_rng.geometric(p_stop, (4.0 * mean) as u64)).min(remaining);
+        let mut refs = Vec::with_capacity(len as usize);
+        let mut gap_sum = SimDuration::ZERO;
+        for _ in 0..len {
+            let r = self.trace.next().expect("trace is infinite");
+            gap_sum += r.gap;
+            refs.push(r);
+        }
+        self.pulled += len;
+        let think = gap_sum.as_ps() as f64 * self.window as f64 / self.intensity_scale;
+        Some((refs, SimDuration::from_ps(think.round() as u64)))
+    }
+
+    /// Seeds each wavefront slot with its first burst, staggered by a
+    /// think-time sample (the memoryless steady state).
+    fn spawn_threads(&mut self) {
+        for _ in 0..self.window {
+            let Some((refs, think)) = self.pull_burst() else {
+                break;
+            };
+            self.thinking.push((SimTime::ZERO + think, refs));
+        }
+    }
+
+    /// A slot's burst fully completed at `at`: think toward the next one.
+    fn recycle_thread(&mut self, at: SimTime) {
+        if let Some((refs, think)) = self.pull_burst() {
+            self.thinking.push((at + think, refs));
+        }
+    }
+
+    /// Moves slots whose think time has elapsed into the host issue queue,
+    /// issuing their whole burst back to back.
+    fn stage_and_offer(&mut self, now: SimTime) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.thinking.len() {
+            if self.thinking[i].0 <= now {
+                let (due, refs) = self.thinking.swap_remove(i);
+                let burst = self.next_burst;
+                self.next_burst += 1;
+                // A slot waits only for its reads (§4.2: writes are off
+                // the critical path). All-write bursts recycle as soon as
+                // the writes have been issued.
+                let reads = refs.iter().filter(|r| !r.is_write).count() as u32;
+                self.bursts.insert(burst, reads);
+                for r in refs {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.host_queue.push_back((token, r, due, burst));
+                }
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        progress
+    }
+
+    /// Injects queued host requests while the window and buffers allow.
+    fn inject_host(&mut self, now: SimTime) -> bool {
+        let mut progress = false;
+        while let Some(&(token, r, offered_at, burst)) = self.host_queue.front() {
+            if offered_at > now {
+                break;
+            }
+            // The host write buffer is full: stall issue until acks drain.
+            if r.is_write && self.outstanding_writes >= self.write_cap {
+                break;
+            }
+            let decoded = self.addr_map.decode(r.addr);
+            let kind = if r.is_write {
+                PacketKind::WriteRequest
+            } else {
+                PacketKind::ReadRequest
+            };
+            let mut packet = Packet::request(token, kind, self.topo.host(), decoded.cube);
+            if r.is_write && self.write_burst_routing && self.detector.in_burst() {
+                packet = packet.with_class(PathClass::Read);
+            }
+            if !self.net.can_inject(self.topo.host(), 0, &packet) {
+                break;
+            }
+            self.detector.observe(r.is_write);
+            let tech = self.cube_tech[decoded.cube.index()].expect("request targets a cube");
+            self.inflight.insert(
+                token,
+                Inflight {
+                    offered_at,
+                    arrived_at_cube: SimTime::ZERO,
+                    mem_done: SimTime::ZERO,
+                    decoded,
+                    request: packet.clone(),
+                    tech,
+                    burst,
+                },
+            );
+            self.net
+                .inject(self.topo.host(), 0, packet, now)
+                .expect("can_inject checked");
+            self.outstanding += 1;
+            if r.is_write {
+                self.outstanding_writes += 1;
+            }
+            self.host_queue.pop_front();
+            // A burst with no reads frees its slot once fully issued.
+            let burst_fully_issued = self
+                .host_queue
+                .front()
+                .is_none_or(|&(_, _, _, b)| b != burst);
+            if burst_fully_issued && self.bursts.get(&burst) == Some(&0) {
+                self.bursts.remove(&burst);
+                self.recycle_thread(now);
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    /// Consumes deliveries at `node`: responses at the host, requests at
+    /// cubes (respecting controller backpressure).
+    fn drain_node(&mut self, node: NodeId, now: SimTime) {
+        if node == self.topo.host() {
+            while let Some(d) = self.net.take_delivery(node, now) {
+                self.finish_request(d.packet, d.arrived_at);
+            }
+            return;
+        }
+        // A cube: admit requests while their quadrant controller has room.
+        while let Some(head) = self.net.peek_delivery(node) {
+            let token = head.token;
+            let rec = self.inflight.get(&token).expect("request is in flight");
+            let quadrant = rec.decoded.quadrant;
+            let is_write = head.kind == PacketKind::WriteRequest;
+            let has_space = self.controllers[node.index()]
+                .as_ref()
+                .expect("deliveries only at cubes")[quadrant as usize]
+                .has_space(is_write);
+            if !has_space {
+                break;
+            }
+            let d = self.net.take_delivery(node, now).expect("peeked");
+            self.hop_sum += u64::from(d.packet.hops());
+            let rec = self.inflight.get_mut(&token).expect("in flight");
+            rec.arrived_at_cube = d.arrived_at;
+            self.breakdown
+                .to_memory
+                .record(d.arrived_at.saturating_since(rec.offered_at));
+            // Requests entering via the wrong quadrant pay 1 ns to cross
+            // the cube-internal switch (§5). With four quadrants, three of
+            // four uniformly interleaved requests pay it; quadrant 0 is the
+            // link-adjacent one in this model.
+            let penalty = if quadrant == 0 {
+                SimDuration::ZERO
+            } else {
+                WRONG_QUADRANT_PENALTY
+            };
+            let access = if d.packet.kind == PacketKind::WriteRequest {
+                MemAccess::write(token, rec.decoded.bank, rec.decoded.row)
+            } else {
+                MemAccess::read(token, rec.decoded.bank, rec.decoded.row)
+            };
+            self.controllers[node.index()].as_mut().expect("cube")[quadrant as usize]
+                .enqueue(access, now + penalty)
+                .expect("has_space checked");
+        }
+    }
+
+    /// Advances every controller that can act at `now`; queues responses.
+    fn advance_controllers(&mut self, now: SimTime) -> bool {
+        let mut progress = false;
+        for idx in 0..self.controllers.len() {
+            let Some(quads) = self.controllers[idx].as_mut() else {
+                continue;
+            };
+            for (q, ctrl) in quads.iter_mut().enumerate() {
+                if ctrl.next_event_time().is_none_or(|t| t > now) {
+                    continue;
+                }
+                for done in ctrl.advance(now) {
+                    progress = true;
+                    let rec = self
+                        .inflight
+                        .get_mut(&done.token)
+                        .expect("completion maps to in-flight request");
+                    rec.mem_done = done.completed_at;
+                    self.breakdown
+                        .in_memory
+                        .record(done.completed_at.saturating_since(rec.arrived_at_cube));
+                    let spec = ctrl.spec();
+                    let energy = EnergyPj::array_access(&spec.energy, ACCESS_BITS, done.is_write);
+                    if done.is_write {
+                        self.write_energy += energy;
+                    } else {
+                        self.read_energy += energy;
+                    }
+                    let response = Packet::response_to(&rec.request, rec.tech == CubeTech::Nvm);
+                    self.pending_responses.push(PendingResponse {
+                        ready_at: done.completed_at,
+                        cube: NodeId(idx as u32),
+                        quadrant: q as u32,
+                        packet: response,
+                    });
+                }
+            }
+        }
+        progress
+    }
+
+    /// Injects completed responses whose data is ready and whose local
+    /// injection buffer has space.
+    fn inject_responses(&mut self, now: SimTime) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.pending_responses.len() {
+            let p = &self.pending_responses[i];
+            if p.ready_at <= now && self.net.can_inject(p.cube, p.quadrant as usize, &p.packet) {
+                let p = self.pending_responses.swap_remove(i);
+                self.net
+                    .inject(p.cube, p.quadrant as usize, p.packet, now)
+                    .expect("can_inject checked");
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        progress
+    }
+
+    fn finish_request(&mut self, response: Packet, at: SimTime) {
+        self.hop_sum += u64::from(response.hops());
+        let rec = self
+            .inflight
+            .remove(&response.token)
+            .expect("response maps to in-flight request");
+        self.breakdown
+            .from_memory
+            .record(at.saturating_since(rec.mem_done));
+        self.outstanding -= 1;
+        self.completed += 1;
+        self.last_response_at = self.last_response_at.max(at);
+        if response.kind == PacketKind::WriteAck {
+            self.writes += 1;
+            self.outstanding_writes -= 1;
+            // Writes do not hold their slot (§4.2).
+            return;
+        }
+        self.reads += 1;
+        self.read_latency.record(at.saturating_since(rec.offered_at));
+        // The slot recycles when its last read returns; any writes of the
+        // burst still queued follow on their own.
+        if let Some(remaining) = self.bursts.get_mut(&rec.burst) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.bursts.remove(&rec.burst);
+                self.recycle_thread(at);
+            }
+        }
+    }
+
+    /// The earliest instant any component can make further progress.
+    fn next_time(&self, now: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for &(due, _) in &self.thinking {
+            consider(due.max(now + SimDuration::from_ps(1)));
+        }
+        if let Some(t) = self.net.next_event_time() {
+            consider(t.max(now + SimDuration::from_ps(1)));
+        }
+        for quads in self.controllers.iter().flatten() {
+            for ctrl in quads {
+                if let Some(t) = ctrl.next_event_time() {
+                    consider(t.max(now + SimDuration::from_ps(1)));
+                }
+            }
+        }
+        for p in &self.pending_responses {
+            consider(p.ready_at.max(now + SimDuration::from_ps(1)));
+        }
+        next
+    }
+
+    fn row_hit_counts(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut total = 0;
+        for quads in self.controllers.iter().flatten() {
+            for ctrl in quads {
+                total += ctrl.accesses();
+                hits += (ctrl.row_hit_rate() * ctrl.accesses() as f64).round() as u64;
+            }
+        }
+        (hits, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_workloads::Workload;
+
+    fn quick_config(topology: TopologyKind, dram_fraction: f64) -> SystemConfig {
+        let mut c = SystemConfig::paper_baseline(topology, dram_fraction).unwrap();
+        c.requests_per_port = 500;
+        c
+    }
+
+    fn run(config: &SystemConfig, workload: Workload) -> PortResult {
+        let space = config.capacity_per_port_gb() * (1 << 30);
+        let mut profile = workload.profile();
+        profile.footprint_fraction = 1.0;
+        let trace = TraceGenerator::new(profile, space, config.seed);
+        PortSim::new(config, trace).run()
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let c = quick_config(TopologyKind::Chain, 1.0);
+        let r = run(&c, Workload::Dct);
+        assert_eq!(r.reads + r.writes, 500);
+        assert!(r.wall > SimTime::ZERO);
+        assert!(r.breakdown.to_memory.count() == 500);
+        assert!(r.breakdown.in_memory.count() == 500);
+        assert!(r.breakdown.from_memory.count() == 500);
+    }
+
+    #[test]
+    fn tree_beats_chain() {
+        let chain = run(&quick_config(TopologyKind::Chain, 1.0), Workload::Bit);
+        let tree = run(&quick_config(TopologyKind::Tree, 1.0), Workload::Bit);
+        assert!(
+            tree.wall < chain.wall,
+            "tree {} vs chain {}",
+            tree.wall,
+            chain.wall
+        );
+        assert!(tree.avg_hops < chain.avg_hops);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c = quick_config(TopologyKind::Ring, 1.0);
+        let a = run(&c, Workload::Kmeans);
+        let b = run(&c, Workload::Kmeans);
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.reads, b.reads);
+    }
+
+    #[test]
+    fn read_write_mix_matches_workload() {
+        let c = quick_config(TopologyKind::Tree, 1.0);
+        let r = run(&c, Workload::Kmeans);
+        let frac = r.reads as f64 / 500.0;
+        assert!((frac - 0.8).abs() < 0.06, "read fraction {frac}");
+    }
+
+    #[test]
+    fn nvm_write_energy_dominates_all_nvm() {
+        let c = quick_config(TopologyKind::Chain, 0.0);
+        let r = run(&c, Workload::Bit); // 50% writes
+        assert!(r.energy.write > r.energy.read * 5.0);
+    }
+
+    #[test]
+    fn energy_components_positive() {
+        let c = quick_config(TopologyKind::Tree, 1.0);
+        let r = run(&c, Workload::Dct);
+        assert!(r.energy.network.as_pj() > 0.0);
+        assert!(r.energy.read.as_pj() > 0.0);
+        assert!(r.energy.write.as_pj() > 0.0);
+    }
+
+    #[test]
+    fn all_nvm_has_higher_memory_latency() {
+        let dram = run(&quick_config(TopologyKind::Tree, 1.0), Workload::Nw);
+        let nvm = run(&quick_config(TopologyKind::Tree, 0.0), Workload::Nw);
+        assert!(nvm.breakdown.in_memory.mean_ns() > dram.breakdown.in_memory.mean_ns());
+    }
+
+    #[test]
+    fn skiplist_write_burst_routing_runs() {
+        let mut c = quick_config(TopologyKind::SkipList, 1.0);
+        c.write_burst_routing = true;
+        let r = run(&c, Workload::Backprop);
+        assert_eq!(r.reads + r.writes, 500);
+    }
+
+    #[test]
+    fn tight_write_cap_throttles_write_heavy_traffic() {
+        let mut loose = quick_config(TopologyKind::SkipList, 1.0);
+        loose.host_write_buffer = 64;
+        let mut tight = loose.clone();
+        tight.host_write_buffer = 2;
+        let fast = run(&loose, Workload::Backprop);
+        let slow = run(&tight, Workload::Backprop);
+        assert!(
+            slow.wall > fast.wall,
+            "a 2-entry write buffer must stall issue: {} vs {}",
+            slow.wall,
+            fast.wall
+        );
+    }
+
+    #[test]
+    fn mesh_extension_runs_end_to_end() {
+        let r = run(&quick_config(TopologyKind::Mesh, 1.0), Workload::Dct);
+        assert_eq!(r.reads + r.writes, 500);
+        // A 4x4 mesh averages more hops than a ternary tree.
+        let tree = run(&quick_config(TopologyKind::Tree, 1.0), Workload::Dct);
+        assert!(r.avg_hops > tree.avg_hops);
+    }
+
+    #[test]
+    fn oracle_age_arbitration_runs() {
+        let c = quick_config(TopologyKind::Chain, 1.0).with_arbiter(mn_noc::ArbiterKind::OracleAge);
+        let r = run(&c, Workload::Bit);
+        assert_eq!(r.reads + r.writes, 500);
+    }
+
+    #[test]
+    fn metacube_runs_all_mixes() {
+        for frac in [1.0, 0.5, 0.0] {
+            let r = run(&quick_config(TopologyKind::MetaCube, frac), Workload::Buff);
+            assert_eq!(r.reads + r.writes, 500, "fraction {frac}");
+        }
+    }
+}

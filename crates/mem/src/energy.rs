@@ -1,0 +1,144 @@
+//! Dynamic energy accounting (the §6.3 / Fig. 15 model).
+//!
+//! The paper's energy model is deliberately simple: every bit moved over a
+//! link costs 5 pJ per hop, and every bit read or written at a memory array
+//! costs the technology's per-bit figure (12 pJ for DRAM, 12/120 pJ for NVM
+//! reads/writes). Static energy is excluded.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use crate::tech::MemEnergy;
+
+/// An amount of energy in picojoules.
+///
+/// # Example
+///
+/// ```
+/// use mn_mem::EnergyPj;
+///
+/// let network = EnergyPj::per_bit_hop(5.0, 64 * 8, 3); // 64 B over 3 hops
+/// assert_eq!(network, EnergyPj::from_pj(7680.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct EnergyPj(f64);
+
+impl EnergyPj {
+    /// Zero energy.
+    pub const ZERO: EnergyPj = EnergyPj(0.0);
+
+    /// From raw picojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj` is negative or not finite.
+    pub fn from_pj(pj: f64) -> EnergyPj {
+        assert!(pj.is_finite() && pj >= 0.0, "energy must be >= 0, got {pj}");
+        EnergyPj(pj)
+    }
+
+    /// Transport energy: `pj_per_bit_hop` x `bits` x `hops`.
+    pub fn per_bit_hop(pj_per_bit_hop: f64, bits: u64, hops: u32) -> EnergyPj {
+        EnergyPj::from_pj(pj_per_bit_hop * bits as f64 * f64::from(hops))
+    }
+
+    /// Array access energy for `bits` using `energy` parameters.
+    pub fn array_access(energy: &MemEnergy, bits: u64, is_write: bool) -> EnergyPj {
+        let per_bit = if is_write {
+            energy.write_pj_per_bit
+        } else {
+            energy.read_pj_per_bit
+        };
+        EnergyPj::from_pj(per_bit * bits as f64)
+    }
+
+    /// Raw picojoules.
+    pub fn as_pj(self) -> f64 {
+        self.0
+    }
+
+    /// In microjoules (for readable experiment output).
+    pub fn as_uj(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl Add for EnergyPj {
+    type Output = EnergyPj;
+    fn add(self, rhs: EnergyPj) -> EnergyPj {
+        EnergyPj(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for EnergyPj {
+    fn add_assign(&mut self, rhs: EnergyPj) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for EnergyPj {
+    type Output = EnergyPj;
+    fn mul(self, rhs: f64) -> EnergyPj {
+        EnergyPj::from_pj(self.0 * rhs)
+    }
+}
+
+impl Sum for EnergyPj {
+    fn sum<I: Iterator<Item = EnergyPj>>(iter: I) -> EnergyPj {
+        EnergyPj(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for EnergyPj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}pJ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::MemTechSpec;
+
+    #[test]
+    fn transport_energy() {
+        // 80-byte data packet over 5 hops at 5 pJ/bit/hop.
+        let e = EnergyPj::per_bit_hop(5.0, 80 * 8, 5);
+        assert!((e.as_pj() - 16_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvm_writes_cost_10x_reads() {
+        let nvm = MemTechSpec::nvm_pcm().energy;
+        let read = EnergyPj::array_access(&nvm, 512, false);
+        let write = EnergyPj::array_access(&nvm, 512, true);
+        assert!((write.as_pj() / read.as_pj() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let a = EnergyPj::from_pj(1.0);
+        let b = EnergyPj::from_pj(2.0);
+        assert_eq!(a + b, EnergyPj::from_pj(3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, EnergyPj::from_pj(3.0));
+        let total: EnergyPj = [a, b, c].into_iter().sum();
+        assert_eq!(total, EnergyPj::from_pj(6.0));
+        assert_eq!(a * 4.0, EnergyPj::from_pj(4.0));
+    }
+
+    #[test]
+    fn unit_conversion_and_display() {
+        let e = EnergyPj::from_pj(2_500_000.0);
+        assert!((e.as_uj() - 2.5).abs() < 1e-12);
+        assert_eq!(format!("{}", EnergyPj::from_pj(5.25)), "5.2pJ");
+    }
+
+    #[test]
+    #[should_panic(expected = "energy must be >= 0")]
+    fn negative_energy_rejected() {
+        let _ = EnergyPj::from_pj(-1.0);
+    }
+}

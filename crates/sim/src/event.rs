@@ -1,0 +1,250 @@
+//! The event queue at the heart of the discrete-event kernel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled for a particular instant.
+///
+/// Ordering is by time, then by insertion sequence number, so two events
+/// scheduled for the same instant are delivered in FIFO order. Deterministic
+/// tie-breaking is essential for reproducible simulations.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Events popped from the queue are monotonically non-decreasing in time.
+/// Scheduling an event earlier than the last popped event is a logic error
+/// in the caller and is caught by a debug assertion in [`EventQueue::push`].
+///
+/// # Example
+///
+/// ```
+/// use mn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(3), 'b');
+/// q.push(SimTime::from_ns(1), 'a');
+/// q.push(SimTime::from_ns(3), 'c'); // same instant as 'b': FIFO order
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `time` is earlier than the time of the most
+    /// recently popped event (scheduling into the past).
+    pub fn push(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event at {time} into the past (now = {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Scheduled { time, event, .. } = self.heap.pop()?;
+        self.now = time;
+        self.popped += 1;
+        Some((time, event))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// The time of the most recently popped event ([`SimTime::ZERO`] before
+    /// the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (time, event) in iter {
+            self.push(time, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut queue = EventQueue::new();
+        queue.extend(iter);
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ns(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_ns(4), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(4));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.pop();
+        q.push(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn counters_and_emptiness() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        q.extend((0..5).map(|i| (SimTime::from_ns(i), i)));
+        assert_eq!(q.len(), 5);
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let q: EventQueue<u32> = (0..3).map(|i| (SimTime::from_ns(i), i as u32)).collect();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(1), 'a');
+        q.push(SimTime::from_ns(5), 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(SimTime::from_ns(3), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+    }
+}

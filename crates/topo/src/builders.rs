@@ -1,0 +1,349 @@
+//! Constructions for the five topology families.
+//!
+//! Every builder receives a [`Placement`] (cube technologies in position
+//! order, position 1 closest to the host) and produces a [`Topology`] whose
+//! node 0 is the host memory port. Builders only create structure; latency
+//! and bandwidth live in `mn-noc`.
+
+use crate::graph::CUBE_PORT_BUDGET;
+use crate::graph::{LinkClass, LinkInfo, NodeId, NodeInfo, NodeKind, Topology, TopologyKind};
+use crate::placement::Placement;
+
+fn host_node() -> NodeInfo {
+    NodeInfo {
+        kind: NodeKind::Host,
+        position: 0,
+    }
+}
+
+fn cube_node(placement: &Placement, pos: u32) -> NodeInfo {
+    NodeInfo {
+        kind: NodeKind::Cube(placement.tech_at(pos)),
+        position: pos,
+    }
+}
+
+fn external(a: NodeId, b: NodeId) -> LinkInfo {
+    LinkInfo {
+        a,
+        b,
+        class: LinkClass::External,
+        skip: false,
+    }
+}
+
+/// Fig. 3(b): host — c1 — c2 — ... — cn.
+pub(crate) fn chain(placement: &Placement) -> Topology {
+    let n = placement.cube_count() as u32;
+    let mut nodes = vec![host_node()];
+    nodes.extend((1..=n).map(|p| cube_node(placement, p)));
+    let mut links = Vec::with_capacity(n as usize);
+    for p in 1..=n {
+        links.push(external(NodeId(p - 1), NodeId(p)));
+    }
+    Topology::from_parts(TopologyKind::Chain, nodes, links)
+}
+
+/// Fig. 3(c): the cubes form a cycle and the host attaches to one of them,
+/// so requests take the shorter of the two branches around the ring. Like
+/// every MN here, the host still has a single link into the network — the
+/// §4.2 observation that MN throughput is ultimately bounded by that link.
+pub(crate) fn ring(placement: &Placement) -> Topology {
+    let n = placement.cube_count() as u32;
+    let mut topo_nodes = vec![host_node()];
+    topo_nodes.extend((1..=n).map(|p| cube_node(placement, p)));
+    let mut links = Vec::with_capacity(n as usize + 1);
+    for p in 1..=n {
+        links.push(external(NodeId(p - 1), NodeId(p)));
+    }
+    if n > 2 {
+        links.push(external(NodeId(n), NodeId(1)));
+    }
+    Topology::from_parts(TopologyKind::Ring, topo_nodes, links)
+}
+
+/// Fig. 3(d): a ternary tree. Cube positions follow ternary-heap numbering
+/// (position 1 is the root, the children of position `k` are `3k-1`, `3k`,
+/// `3k+1`), which is exactly breadth-first order — so position still means
+/// "distance rank from the host", as the NVM-F/NVM-L placements require.
+/// Each cube uses at most 1 up-link + 3 down-links = 4 ports.
+pub(crate) fn ternary_tree(placement: &Placement) -> Topology {
+    let n = placement.cube_count() as u32;
+    let mut nodes = vec![host_node()];
+    nodes.extend((1..=n).map(|p| cube_node(placement, p)));
+    let mut links = Vec::with_capacity(n as usize);
+    links.push(external(NodeId::HOST, NodeId(1)));
+    for p in 2..=n {
+        let parent = (p + 1) / 3;
+        links.push(external(NodeId(parent), NodeId(p)));
+    }
+    Topology::from_parts(TopologyKind::Tree, nodes, links)
+}
+
+/// Fig. 8: a sequential chain augmented with cascading skip links.
+///
+/// Skip links are added level by level, longest first (lengths are the
+/// powers of two below the cube count). Within a level, each node already
+/// reachable by longer skips (the "frontier") tries to originate one skip of
+/// the current length, subject to the 4-port budget at both endpoints. For
+/// 16 cubes this yields skips (1,9), (1,5), (9,13), (5,7), (13,15): the
+/// farthest cube is 5 hops from the host — logarithmic, like a tree — while
+/// the full chain remains intact for write traffic.
+pub(crate) fn skip_list(placement: &Placement) -> Topology {
+    let n = placement.cube_count() as u32;
+    let mut nodes = vec![host_node()];
+    nodes.extend((1..=n).map(|p| cube_node(placement, p)));
+
+    let mut links = Vec::new();
+    // Ports used per node; index 0 is the host (unbounded here: the host
+    // still only gets its single MN link from the chain construction).
+    let mut ports = vec![0u32; n as usize + 1];
+    for p in 1..=n {
+        links.push(external(NodeId(p - 1), NodeId(p)));
+        ports[(p - 1) as usize] += 1;
+        ports[p as usize] += 1;
+    }
+
+    // Longest power-of-two skip strictly shorter than the chain.
+    let mut len = 1u32;
+    while len * 2 < n {
+        len *= 2;
+    }
+
+    let mut frontier = vec![1u32];
+    while len >= 2 {
+        let mut next_frontier = frontier.clone();
+        for &from in &frontier {
+            let to = from + len;
+            if to > n {
+                continue;
+            }
+            if ports[from as usize] >= CUBE_PORT_BUDGET || ports[to as usize] >= CUBE_PORT_BUDGET {
+                continue;
+            }
+            links.push(LinkInfo {
+                a: NodeId(from),
+                b: NodeId(to),
+                class: LinkClass::External,
+                skip: true,
+            });
+            ports[from as usize] += 1;
+            ports[to as usize] += 1;
+            next_frontier.push(to);
+        }
+        next_frontier.sort_unstable();
+        next_frontier.dedup();
+        frontier = next_frontier;
+        len /= 2;
+    }
+
+    Topology::from_parts(TopologyKind::SkipList, nodes, links)
+}
+
+/// Fig. 9(c): cubes are grouped four to a package around an interface chip
+/// on a silicon interposer. The interface chip is a high-radix router —
+/// "this relieves the limitation of 4 ports per memory package" (§4.3) —
+/// so the packages form a shallow ternary tree of interface chips (a star
+/// for up to four packages): host → IF₁ → {IF₂, IF₃, IF₄}, each IF serving
+/// its four cubes over interposer links.
+pub(crate) fn metacube(placement: &Placement) -> Topology {
+    let n = placement.cube_count() as u32;
+    let packages = n.div_ceil(4);
+
+    let mut nodes = vec![host_node()];
+    let mut links = Vec::new();
+    let mut interfaces = Vec::new();
+    let mut next_pos = 1u32;
+
+    for pkg in 0..packages {
+        let interface = NodeId(nodes.len() as u32);
+        nodes.push(NodeInfo {
+            kind: NodeKind::Interface,
+            position: 0,
+        });
+        // Ternary-heap numbering over interface chips, rooted at the host.
+        let parent = if pkg == 0 {
+            NodeId::HOST
+        } else {
+            interfaces[(pkg.div_ceil(3) - 1) as usize]
+        };
+        links.push(external(parent, interface));
+        interfaces.push(interface);
+
+        for _ in 0..4 {
+            if next_pos > n {
+                break;
+            }
+            let cube = NodeId(nodes.len() as u32);
+            nodes.push(cube_node(placement, next_pos));
+            links.push(LinkInfo {
+                a: interface,
+                b: cube,
+                class: LinkClass::Interposer,
+                skip: false,
+            });
+            next_pos += 1;
+        }
+    }
+
+    Topology::from_parts(TopologyKind::MetaCube, nodes, links)
+}
+
+/// Extension: a 2-D mesh, the topology the paper *excludes* (§3) because
+/// its average hop count beats neither the tree nor, usually, the ring.
+/// Cubes are laid out row-major on a near-square grid with the host
+/// attached to the corner cube; position order is row-major, so NVM-L
+/// still places NVM in the (roughly) farthest rows. Every cube keeps to
+/// the 4-port budget: the corner uses host + east + south = 3, interior
+/// cubes use their four mesh neighbors.
+pub(crate) fn mesh(placement: &Placement) -> Topology {
+    let n = placement.cube_count() as u32;
+    let width = (n as f64).sqrt().ceil() as u32;
+    let mut nodes = vec![host_node()];
+    nodes.extend((1..=n).map(|p| cube_node(placement, p)));
+
+    let at = |row: u32, col: u32| -> Option<NodeId> {
+        let p = row * width + col + 1;
+        (col < width && p <= n).then_some(NodeId(p))
+    };
+
+    let mut links = vec![external(NodeId::HOST, NodeId(1))];
+    for p in 1..=n {
+        let row = (p - 1) / width;
+        let col = (p - 1) % width;
+        if let Some(east) = at(row, col + 1) {
+            links.push(external(NodeId(p), east));
+        }
+        if let Some(south) = at(row + 1, col) {
+            links.push(external(NodeId(p), south));
+        }
+    }
+    Topology::from_parts(TopologyKind::Mesh, nodes, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CubeTech;
+
+    fn dram(n: usize) -> Placement {
+        Placement::homogeneous(n, CubeTech::Dram)
+    }
+
+    #[test]
+    fn skiplist_16_matches_paper_structure() {
+        let t = skip_list(&dram(16));
+        let skips: Vec<(u32, u32)> = t
+            .link_ids()
+            .map(|l| t.link(l))
+            .filter(|l| l.skip)
+            .map(|l| (l.a.0, l.b.0))
+            .collect();
+        assert_eq!(skips, vec![(1, 9), (1, 5), (9, 13), (5, 7), (13, 15)]);
+    }
+
+    #[test]
+    fn skiplist_small_networks() {
+        // 4 cubes (the all-NVM case): one skip of length 2.
+        let t = skip_list(&dram(4));
+        let skips = t.link_ids().filter(|&l| t.link(l).skip).count();
+        assert_eq!(skips, 1);
+        // 1 or 2 cubes: no room for skips.
+        assert_eq!(
+            skip_list(&dram(2))
+                .link_ids()
+                .filter(|&l| skip_list(&dram(2)).link(l).skip)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn skiplist_10_cubes_stays_in_budget() {
+        let t = skip_list(&dram(10));
+        for (id, _) in t.cubes() {
+            assert!(t.degree(id) <= 4);
+        }
+        let skips = t.link_ids().filter(|&l| t.link(l).skip).count();
+        assert!(skips >= 2, "expected skips for 10 cubes, got {skips}");
+    }
+
+    #[test]
+    fn tree_parents_are_ternary_heap() {
+        let t = ternary_tree(&dram(16));
+        // Position 5's parent is position 2.
+        let n5 = t.cube_at_position(5).unwrap();
+        let parents: Vec<u32> = t
+            .neighbors(n5)
+            .iter()
+            .map(|&(nb, _)| t.node(nb).position)
+            .filter(|&p| p < 5)
+            .collect();
+        assert_eq!(parents, vec![2]);
+    }
+
+    #[test]
+    fn tree_depth_is_logarithmic() {
+        let t = ternary_tree(&dram(16));
+        let r = t.routing();
+        let max = (1..=16)
+            .map(|p| r.read_hops(t.host(), t.cube_at_position(p).unwrap()))
+            .max()
+            .unwrap();
+        assert!(max <= 4, "tree of 16 should be <= 4 hops deep, got {max}");
+    }
+
+    #[test]
+    fn metacube_packages_of_four() {
+        let t = metacube(&dram(10)); // 3 packages: 4 + 4 + 2
+        let interfaces = t
+            .node_ids()
+            .filter(|&id| t.node(id).kind == NodeKind::Interface)
+            .count();
+        assert_eq!(interfaces, 3);
+        assert_eq!(t.cube_count(), 10);
+    }
+
+    #[test]
+    fn mesh_structure_and_hops() {
+        let t = mesh(&dram(16)); // 4x4
+                                 // Interior cubes have 4 mesh links; the host corner has 3 + host.
+        let corner = t.cube_at_position(1).unwrap();
+        assert_eq!(t.degree(corner), 3);
+        let interior = t.cube_at_position(6).unwrap(); // (1,1)
+        assert_eq!(t.degree(interior), 4);
+        let r = t.routing();
+        // Opposite corner: 1 (host) + manhattan distance 6.
+        let far = t.cube_at_position(16).unwrap();
+        assert_eq!(r.read_hops(t.host(), far), 7);
+        // The paper's exclusion argument: the mesh's average hop count
+        // exceeds the ternary tree's.
+        use crate::metrics::TopologyMetrics;
+        let mesh_m = TopologyMetrics::compute(&t);
+        let tree_m = TopologyMetrics::compute(&ternary_tree(&dram(16)));
+        assert!(mesh_m.avg_read_hops > tree_m.avg_read_hops);
+    }
+
+    #[test]
+    fn mesh_non_square_counts() {
+        let t = mesh(&dram(10)); // 4-wide, 2.5 rows
+        assert_eq!(t.cube_count(), 10);
+        for (id, _) in t.cubes() {
+            assert!(t.degree(id) <= 4);
+        }
+    }
+
+    #[test]
+    fn ring_of_one_has_no_duplicate_link() {
+        let t = ring(&dram(1));
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    fn chain_positions_are_sequential() {
+        let t = chain(&dram(5));
+        for p in 1..=5 {
+            assert_eq!(t.cube_at_position(p).unwrap(), NodeId(p));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building or validating a topology.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The placement contains no cubes.
+    EmptyPlacement,
+    /// A requested ratio or fraction is outside its valid range.
+    InvalidRatio {
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested DRAM capacity fraction cannot be realized with whole
+    /// cubes (DRAM cubes hold 1 capacity unit, NVM cubes hold 4).
+    UnrealizableMix {
+        /// The requested DRAM fraction of total capacity.
+        dram_fraction: f64,
+    },
+    /// A cube would need more external links than the per-package budget.
+    PortBudgetExceeded {
+        /// 1-based chain position of the violating cube.
+        position: u32,
+        /// Number of links the construction tried to attach.
+        needed: u32,
+        /// The per-cube port budget.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyPlacement => write!(f, "placement contains no cubes"),
+            TopologyError::InvalidRatio { value } => {
+                write!(f, "ratio {value} is outside [0, 1]")
+            }
+            TopologyError::UnrealizableMix { dram_fraction } => write!(
+                f,
+                "DRAM capacity fraction {dram_fraction} cannot be realized with whole cubes"
+            ),
+            TopologyError::PortBudgetExceeded {
+                position,
+                needed,
+                budget,
+            } => write!(
+                f,
+                "cube at position {position} needs {needed} links but the budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::PortBudgetExceeded {
+            position: 3,
+            needed: 5,
+            budget: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("position 3"));
+        assert!(s.contains("budget is 4"));
+        assert!(!TopologyError::EmptyPlacement.to_string().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! All-pairs shortest-path routing over a topology.
+//!
+//! Two path classes exist, mirroring the paper's read/write differentiated
+//! routing (§4.2):
+//!
+//! - [`PathClass::Read`] — shortest paths over **all** links, including
+//!   skip-list bypass links.
+//! - [`PathClass::Write`] — shortest paths excluding skip links, i.e. write
+//!   requests ride the central sequential chain of a skip-list MN. On every
+//!   other topology the two classes coincide.
+//!
+//! The host is never used as a transit node: paths between two cubes cannot
+//! route through the processor (traffic in this system is host↔cube only,
+//! but the invariant is enforced for safety).
+
+use std::collections::VecDeque;
+
+use crate::graph::{LinkId, NodeId, Topology};
+
+/// Which routing plane a packet uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathClass {
+    /// Shortest path over every link (reads and read responses).
+    Read,
+    /// Chain-only path on skip lists (writes and write acknowledgments).
+    Write,
+}
+
+impl PathClass {
+    /// Both classes.
+    pub const ALL: [PathClass; 2] = [PathClass::Read, PathClass::Write];
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Per-class next-hop and distance tables.
+#[derive(Debug, Clone)]
+struct ClassTable {
+    /// `next_hop[src][dst]` — the neighbor and link to take from `src`
+    /// toward `dst`; `None` when `src == dst` or unreachable.
+    next_hop: Vec<Vec<Option<(NodeId, LinkId)>>>,
+    /// `dist[src][dst]` in hops; `UNREACHABLE` when disconnected.
+    dist: Vec<Vec<u32>>,
+}
+
+/// Precomputed routing tables for one topology.
+///
+/// # Example
+///
+/// ```
+/// use mn_topo::{Topology, TopologyKind, Placement, CubeTech, PathClass};
+///
+/// let topo = Topology::build(
+///     TopologyKind::Ring,
+///     &Placement::homogeneous(16, CubeTech::Dram),
+/// ).unwrap();
+/// let routes = topo.routing();
+///
+/// // On a ring the "last" cube is reached the short way around: through
+/// // cube 1 and backwards along the cycle, not 16 hops down the chain.
+/// let c16 = topo.cube_at_position(16).unwrap();
+/// assert_eq!(routes.hops(PathClass::Read, topo.host(), c16), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    read: ClassTable,
+    write: ClassTable,
+}
+
+impl RoutingTable {
+    /// Computes routing tables for `topo` with breadth-first search from
+    /// every node (link hops are uniform cost). Neighbor exploration order
+    /// is the topology's deterministic adjacency order, so routes are
+    /// reproducible.
+    pub fn compute(topo: &Topology) -> RoutingTable {
+        RoutingTable {
+            read: Self::compute_class(topo, true),
+            write: Self::compute_class(topo, false),
+        }
+    }
+
+    fn compute_class(topo: &Topology, allow_skip: bool) -> ClassTable {
+        let n = topo.node_count();
+        let mut next_hop = vec![vec![None; n]; n];
+        let mut dist = vec![vec![UNREACHABLE; n]; n];
+
+        for src in topo.node_ids() {
+            // BFS that records each node's *parent*; next hops are then
+            // derived by walking parents backward.
+            let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+            let mut d = vec![UNREACHABLE; n];
+            d[src.index()] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                // The host may originate/terminate but never forward.
+                if u != src && u == topo.host() {
+                    continue;
+                }
+                for &(v, link) in topo.neighbors(u) {
+                    if !allow_skip && topo.link(link).skip {
+                        continue;
+                    }
+                    if d[v.index()] == UNREACHABLE {
+                        d[v.index()] = d[u.index()] + 1;
+                        parent[v.index()] = Some((u, link));
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for dst in topo.node_ids() {
+                dist[src.index()][dst.index()] = d[dst.index()];
+                if dst == src || d[dst.index()] == UNREACHABLE {
+                    continue;
+                }
+                // Walk back from dst to the node adjacent to src.
+                let mut cur = dst;
+                let mut via = parent[cur.index()].expect("reachable node has a parent");
+                while via.0 != src {
+                    cur = via.0;
+                    via = parent[cur.index()].expect("path to src is complete");
+                }
+                next_hop[src.index()][dst.index()] = Some((cur, via.1));
+            }
+        }
+        ClassTable { next_hop, dist }
+    }
+
+    fn class(&self, class: PathClass) -> &ClassTable {
+        match class {
+            PathClass::Read => &self.read,
+            PathClass::Write => &self.write,
+        }
+    }
+
+    /// Hop count from `src` to `dst` on the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is unreachable from `src` on that class (cannot
+    /// happen for the built-in topologies, whose chain keeps every class
+    /// connected).
+    pub fn hops(&self, class: PathClass, src: NodeId, dst: NodeId) -> u32 {
+        let d = self.class(class).dist[src.index()][dst.index()];
+        assert!(d != UNREACHABLE, "{dst} unreachable from {src}");
+        d
+    }
+
+    /// Convenience for [`RoutingTable::hops`] with [`PathClass::Read`].
+    pub fn read_hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.hops(PathClass::Read, src, dst)
+    }
+
+    /// Convenience for [`RoutingTable::hops`] with [`PathClass::Write`].
+    pub fn write_hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.hops(PathClass::Write, src, dst)
+    }
+
+    /// The neighbor and link a packet at `at` should take toward `dst`,
+    /// or `None` if `at == dst`.
+    pub fn next_hop(&self, class: PathClass, at: NodeId, dst: NodeId) -> Option<(NodeId, LinkId)> {
+        self.class(class).next_hop[at.index()][dst.index()]
+    }
+
+    /// The full node sequence from `src` to `dst` (inclusive of both).
+    pub fn path(&self, class: PathClass, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let (next, _) = self
+                .next_hop(class, cur, dst)
+                .expect("next_hop exists while cur != dst");
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+
+    /// The links traversed from `src` to `dst`.
+    pub fn path_links(&self, class: PathClass, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let (next, link) = self
+                .next_hop(class, cur, dst)
+                .expect("next_hop exists while cur != dst");
+            links.push(link);
+            cur = next;
+        }
+        links
+    }
+
+    /// True if `link` lies on some host→cube shortest path of `class`.
+    /// Links for which this is false under [`PathClass::Read`] are the
+    /// paper's "dashed" links, used only by writes (Fig. 8).
+    pub fn link_carries_class(&self, topo: &Topology, class: PathClass, link: LinkId) -> bool {
+        topo.cubes().any(|(cube, _)| {
+            self.path_links(class, topo.host(), cube).contains(&link)
+                || self.path_links(class, cube, topo.host()).contains(&link)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyKind;
+    use crate::placement::{CubeTech, Placement};
+
+    fn build(kind: TopologyKind, n: usize) -> (Topology, RoutingTable) {
+        let t = Topology::build(kind, &Placement::homogeneous(n, CubeTech::Dram)).unwrap();
+        let r = t.routing();
+        (t, r)
+    }
+
+    #[test]
+    fn chain_distances_are_positions() {
+        let (t, r) = build(TopologyKind::Chain, 16);
+        for p in 1..=16 {
+            let c = t.cube_at_position(p).unwrap();
+            assert_eq!(r.read_hops(t.host(), c), p);
+            assert_eq!(r.write_hops(t.host(), c), p);
+        }
+    }
+
+    #[test]
+    fn ring_takes_shorter_branch() {
+        let (t, r) = build(TopologyKind::Ring, 16);
+        // The host enters at cube 1; the diametrically opposite cube of
+        // the 16-cycle is 8 further hops away.
+        let max = (1..=16)
+            .map(|p| r.read_hops(t.host(), t.cube_at_position(p).unwrap()))
+            .max()
+            .unwrap();
+        assert_eq!(max, 9);
+        // The "last" cube is adjacent to cube 1 around the back.
+        assert_eq!(r.read_hops(t.host(), t.cube_at_position(16).unwrap()), 2);
+        // Average hops roughly halve versus the chain (§3).
+        let avg: f64 = (1..=16)
+            .map(|p| f64::from(r.read_hops(t.host(), t.cube_at_position(p).unwrap())))
+            .sum::<f64>()
+            / 16.0;
+        assert!((avg - 5.0).abs() < 1e-9, "got {avg}");
+    }
+
+    #[test]
+    fn skiplist_reads_logarithmic_writes_linear() {
+        let (t, r) = build(TopologyKind::SkipList, 16);
+        let far = t.cube_at_position(16).unwrap();
+        assert_eq!(r.read_hops(t.host(), far), 5);
+        assert_eq!(r.write_hops(t.host(), far), 16);
+        // Every cube within 5 read hops.
+        for p in 1..=16 {
+            let c = t.cube_at_position(p).unwrap();
+            assert!(r.read_hops(t.host(), c) <= 5, "position {p}");
+        }
+    }
+
+    #[test]
+    fn skiplist_has_write_only_links() {
+        let (t, r) = build(TopologyKind::SkipList, 16);
+        let write_only = t
+            .link_ids()
+            .filter(|&l| {
+                !r.link_carries_class(&t, PathClass::Read, l)
+                    && r.link_carries_class(&t, PathClass::Write, l)
+            })
+            .count();
+        assert!(write_only > 0, "expected dashed write-only links (Fig. 8)");
+    }
+
+    #[test]
+    fn metacube_worst_case_is_small() {
+        let (t, r) = build(TopologyKind::MetaCube, 16);
+        let max = (1..=16)
+            .map(|p| r.read_hops(t.host(), t.cube_at_position(p).unwrap()))
+            .max()
+            .unwrap();
+        // Star of interface chips: host → IF₁ → IF_k → cube.
+        assert_eq!(max, 3);
+        let min = (1..=16)
+            .map(|p| r.read_hops(t.host(), t.cube_at_position(p).unwrap()))
+            .min()
+            .unwrap();
+        assert_eq!(min, 2);
+    }
+
+    #[test]
+    fn paths_are_consistent_with_hops() {
+        for kind in TopologyKind::ALL {
+            let (t, r) = build(kind, 16);
+            for p in 1..=16 {
+                let c = t.cube_at_position(p).unwrap();
+                for class in PathClass::ALL {
+                    let path = r.path(class, t.host(), c);
+                    assert_eq!(path.len() as u32 - 1, r.hops(class, t.host(), c));
+                    assert_eq!(*path.first().unwrap(), t.host());
+                    assert_eq!(*path.last().unwrap(), c);
+                    let links = r.path_links(class, t.host(), c);
+                    assert_eq!(links.len() + 1, path.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_symmetric_in_length() {
+        for kind in TopologyKind::ALL {
+            let (t, r) = build(kind, 10);
+            for p in 1..=10 {
+                let c = t.cube_at_position(p).unwrap();
+                assert_eq!(
+                    r.read_hops(t.host(), c),
+                    r.read_hops(c, t.host()),
+                    "{kind} position {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn host_is_not_transit() {
+        // Cube-to-cube paths never cut through the host's router.
+        let (t, r) = build(TopologyKind::Ring, 16);
+        for p in 3..=16 {
+            let src = t.cube_at_position(2).unwrap();
+            let dst = t.cube_at_position(p).unwrap();
+            let path = r.path(PathClass::Read, src, dst);
+            assert!(!path[1..path.len() - 1].contains(&t.host()));
+        }
+        // Around the back: cube 2 to cube 16 is three hops (2→1→16).
+        let c2 = t.cube_at_position(2).unwrap();
+        let c16 = t.cube_at_position(16).unwrap();
+        assert_eq!(r.read_hops(c2, c16), 2);
+    }
+
+    #[test]
+    fn next_hop_none_for_self() {
+        let (t, r) = build(TopologyKind::Chain, 4);
+        assert_eq!(r.next_hop(PathClass::Read, t.host(), t.host()), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Capacity planner: the scenario from the paper's introduction — you are
+//! sizing a terabyte-scale server and must pick a topology and a DRAM:NVM
+//! mix. This example sweeps the design space for a workload mix, then
+//! reports performance, energy, and package count so the tradeoff (§3.3,
+//! §6.3) is visible in one table.
+//!
+//! ```sh
+//! cargo run --release -p mn-examples --example capacity_planner
+//! ```
+
+use mn_core::{simulate, speedup_pct, SystemConfig};
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+fn main() {
+    // The server's expected daily mix: one read-heavy analytics kernel,
+    // one write-heavy training kernel, one latency-sensitive background job.
+    let mix = [Workload::Kmeans, Workload::Backprop, Workload::Nw];
+    let requests = 3_000;
+
+    println!(
+        "sizing a 2 TB, 8-port server for {:?}\n",
+        mix.map(|w| w.label())
+    );
+    println!(
+        "{:<18} {:>7} {:>11} {:>11} {:>10}",
+        "configuration", "cubes", "perf vs C", "energy", "packages"
+    );
+
+    let baseline = {
+        let mut c = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).expect("valid");
+        c.requests_per_port = requests;
+        mix.iter()
+            .map(|&w| simulate(&c, w).wall.as_ns_f64())
+            .sum::<f64>()
+    };
+
+    let mut best: Option<(String, f64)> = None;
+    for topology in TopologyKind::ALL {
+        for dram_fraction in [1.0, 0.5, 0.0] {
+            let Ok(config) = SystemConfig::paper_baseline(topology, dram_fraction) else {
+                continue;
+            };
+            let mut config = config.with_nvm_placement(NvmPlacement::Last);
+            config.requests_per_port = requests;
+            let placement = config.placement().expect("valid");
+
+            let mut wall_sum = 0.0;
+            let mut energy_uj = 0.0;
+            for &w in &mix {
+                let r = simulate(&config, w);
+                wall_sum += r.wall.as_ns_f64();
+                energy_uj += r.energy.total().as_uj();
+            }
+            let perf = (baseline / wall_sum - 1.0) * 100.0;
+            // MetaCubes package four stacks per (more expensive) package.
+            let packages = if topology == TopologyKind::MetaCube {
+                format!("{} MetaCubes", placement.cube_count().div_ceil(4))
+            } else {
+                format!("{} cubes", placement.cube_count())
+            };
+            println!(
+                "{:<18} {:>7} {:>+10.1}% {:>8.1} uJ {:>10}",
+                config.label(),
+                placement.cube_count(),
+                perf,
+                energy_uj,
+                packages
+            );
+            if best.as_ref().is_none_or(|(_, p)| perf > *p) {
+                best = Some((config.label(), perf));
+            }
+        }
+    }
+
+    let (label, perf) = best.expect("swept at least one configuration");
+    println!("\nrecommendation: {label} ({perf:+.1}% vs the all-DRAM chain)");
+    let _ = speedup_pct; // (see fig benchmarks for per-workload normalization)
+}

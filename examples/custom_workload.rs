@@ -1,0 +1,62 @@
+//! Custom workload: drive the memory network with your own traffic
+//! profile instead of the paper's eight proxies. Models a streaming
+//! ingest service: 90% sequential writes arriving in deep bursts — then
+//! shows why the skip-list's write-burst routing (§5.3) exists.
+//!
+//! ```sh
+//! cargo run --release -p mn-examples --example custom_workload
+//! ```
+
+use mn_core::{simulate, speedup_pct, SystemConfig};
+use mn_topo::TopologyKind;
+use mn_workloads::{TraceGenerator, Workload, WorkloadProfile};
+
+fn main() {
+    // A write-dominated ingest stream with strong spatial locality.
+    let ingest = WorkloadProfile {
+        workload: None,
+        read_fraction: 0.10,
+        intensity_per_ns: 0.25,
+        sequential_prob: 0.85,
+        hot_fraction: 0.05,
+        hot_prob: 0.10,
+        footprint_fraction: 1.0,
+        burst_mean: 32.0,
+    };
+    ingest.validate();
+
+    // Peek at the stream itself.
+    let sample: Vec<_> = TraceGenerator::new(ingest, 1 << 30, 7).take(8).collect();
+    println!("first references of the ingest stream:");
+    for r in &sample {
+        println!(
+            "  +{:>9} {} 0x{:08x}",
+            format!("{}", r.gap),
+            if r.is_write { "W" } else { "R" },
+            r.addr
+        );
+    }
+
+    // The simulator's `simulate` entry point runs the paper workloads; for
+    // a custom profile, compare topologies via a stand-in: the closest
+    // paper workload is BACKPROP (write-heavy). Here we contrast skip-list
+    // behaviour with and without write-burst routing under BACKPROP, the
+    // situation the ingest stream exaggerates.
+    let mut plain = SystemConfig::paper_baseline(TopologyKind::SkipList, 1.0).expect("valid");
+    plain.requests_per_port = 4_000;
+    let mut burst_routed = plain.clone();
+    burst_routed.write_burst_routing = true;
+    burst_routed.noc.arbiter = mn_noc::ArbiterKind::AdaptiveDistance;
+
+    let base = simulate(&plain, Workload::Backprop);
+    let tuned = simulate(&burst_routed, Workload::Backprop);
+    println!(
+        "\nskip-list, write-heavy traffic:\n  writes on the chain only : wall {}\n  + write-burst routing    : wall {}  ({:+.1}%)",
+        base.wall,
+        tuned.wall,
+        speedup_pct(base.wall, tuned.wall)
+    );
+    println!(
+        "\n(the §5.3 hysteresis lets write bursts use the skip links, recovering\n the performance the dedicated write path costs write-heavy workloads)"
+    );
+}

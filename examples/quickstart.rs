@@ -1,0 +1,50 @@
+//! Quickstart: build the paper's baseline system, run one workload on two
+//! topologies, and print the speedup and latency breakdown.
+//!
+//! ```sh
+//! cargo run --release -p mn-examples --example quickstart
+//! ```
+
+use mn_core::{simulate, speedup_pct, SystemConfig};
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+fn main() {
+    // The paper's 2 TB, 8-port, all-DRAM system (Table 2 defaults).
+    let mut chain = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0)
+        .expect("the all-DRAM baseline is always valid");
+    chain.requests_per_port = 5_000;
+    let mut tree = SystemConfig::paper_baseline(TopologyKind::Tree, 1.0).expect("valid");
+    tree.requests_per_port = 5_000;
+
+    let workload = Workload::Dct;
+    println!(
+        "running {workload} on {} and {} ...",
+        chain.label(),
+        tree.label()
+    );
+
+    let chain_result = simulate(&chain, workload);
+    let tree_result = simulate(&tree, workload);
+
+    for result in [&chain_result, &tree_result] {
+        let b = &result.breakdown;
+        println!(
+            "\n{} ({}):\n  wall time       {}\n  to memory       {:.1} ns\n  in memory       {:.1} ns\n  from memory     {:.1} ns\n  avg hops        {:.2}\n  row-buffer hits {:.0}%\n  energy          {:.1} uJ",
+            result.label,
+            result.workload,
+            result.wall,
+            b.to_memory.mean_ns(),
+            b.in_memory.mean_ns(),
+            b.from_memory.mean_ns(),
+            result.avg_hops,
+            result.row_hit_rate * 100.0,
+            result.energy.total().as_uj(),
+        );
+    }
+
+    println!(
+        "\ntree speedup over chain: {:+.1}%",
+        speedup_pct(chain_result.wall, tree_result.wall)
+    );
+}

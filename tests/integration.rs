@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: drive the full stack (workload trace →
+//! host ports → network → cubes → responses) through the public API and
+//! check end-to-end invariants.
+
+use mn_core::{simulate, speedup_pct, SystemConfig};
+use mn_noc::{ArbiterKind, LinkDuplex};
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+fn quick(topology: TopologyKind, dram_fraction: f64) -> SystemConfig {
+    let mut c = SystemConfig::paper_baseline(topology, dram_fraction).expect("valid config");
+    c.requests_per_port = 800;
+    c
+}
+
+#[test]
+fn every_topology_and_mix_completes_every_workload() {
+    for topology in TopologyKind::ALL {
+        for dram_fraction in [1.0, 0.5, 0.0] {
+            let config = quick(topology, dram_fraction);
+            // One representative high-load and one low-load workload per
+            // configuration keeps this exhaustive sweep fast.
+            for workload in [Workload::Dct, Workload::Nw] {
+                let r = simulate(&config, workload);
+                assert_eq!(
+                    r.reads + r.writes,
+                    config.requests_per_port,
+                    "{topology} {dram_fraction} {workload}"
+                );
+                assert!(r.wall > mn_sim::SimTime::ZERO);
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_components_are_all_recorded() {
+    let r = simulate(&quick(TopologyKind::SkipList, 0.5), Workload::Bit);
+    let b = &r.breakdown;
+    assert_eq!(b.to_memory.count(), 800);
+    assert_eq!(b.in_memory.count(), 800);
+    assert_eq!(b.from_memory.count(), 800);
+    let (to, in_mem, from) = b.fractions();
+    assert!((to + in_mem + from - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn determinism_is_end_to_end() {
+    let config = quick(TopologyKind::MetaCube, 0.5);
+    let a = simulate(&config, Workload::Hotspot);
+    let b = simulate(&config, Workload::Hotspot);
+    assert_eq!(a.wall, b.wall);
+    assert_eq!(a.reads, b.reads);
+    assert!((a.energy.total().as_pj() - b.energy.total().as_pj()).abs() < 1e-6);
+}
+
+#[test]
+fn different_seeds_change_outcomes() {
+    let mut a_cfg = quick(TopologyKind::Tree, 1.0);
+    let mut b_cfg = a_cfg.clone();
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    let a = simulate(&a_cfg, Workload::Dct);
+    let b = simulate(&b_cfg, Workload::Dct);
+    assert_ne!(a.wall, b.wall);
+}
+
+#[test]
+fn all_arbiters_run_all_topologies() {
+    for arbiter in [
+        ArbiterKind::RoundRobin,
+        ArbiterKind::Distance,
+        ArbiterKind::AdaptiveDistance,
+    ] {
+        for topology in TopologyKind::ALL {
+            let config = quick(topology, 1.0).with_arbiter(arbiter);
+            let r = simulate(&config, Workload::Buff);
+            assert_eq!(r.reads + r.writes, 800, "{topology} {arbiter:?}");
+        }
+    }
+}
+
+#[test]
+fn full_duplex_is_never_slower() {
+    // Giving each link direction its own channel strictly adds capacity.
+    let mut half = quick(TopologyKind::Chain, 1.0);
+    half.noc.duplex = LinkDuplex::Half;
+    let mut full = half.clone();
+    full.noc.duplex = LinkDuplex::Full;
+    let h = simulate(&half, Workload::Dct);
+    let f = simulate(&full, Workload::Dct);
+    assert!(f.wall <= h.wall, "full {} vs half {}", f.wall, h.wall);
+}
+
+#[test]
+fn four_ports_concentrate_load() {
+    let eight = quick(TopologyKind::Chain, 1.0);
+    let mut four = eight.clone();
+    four.ports = 4;
+    four.requests_per_port = eight.requests_per_port * 2; // same total work
+                                                          // Halving ports doubles the cubes (and traffic) behind each port.
+    assert_eq!(four.placement().unwrap().cube_count(), 32);
+    let r8 = simulate(&eight, Workload::Dct);
+    let r4 = simulate(&four, Workload::Dct);
+    assert!(
+        r4.wall > r8.wall,
+        "longer network + concentrated traffic must cost time"
+    );
+}
+
+#[test]
+fn capacity_halving_shrinks_the_network() {
+    let two_tb = quick(TopologyKind::Chain, 1.0);
+    let mut one_tb = two_tb.clone();
+    one_tb.total_capacity_gb = 1024;
+    assert_eq!(one_tb.placement().unwrap().cube_count(), 8);
+    let r2 = simulate(&two_tb, Workload::Dct);
+    let r1 = simulate(&one_tb, Workload::Dct);
+    // All-DRAM: the shorter chain is faster (§6.2's 100% case).
+    assert!(r1.wall < r2.wall);
+}
+
+#[test]
+fn energy_accounting_is_complete_and_positive() {
+    let r = simulate(&quick(TopologyKind::Ring, 0.5), Workload::Bit);
+    assert!(r.energy.network.as_pj() > 0.0);
+    assert!(r.energy.read.as_pj() > 0.0);
+    assert!(r.energy.write.as_pj() > 0.0);
+    let total = r.energy.total();
+    assert!(total.as_pj() >= r.energy.network.as_pj());
+}
+
+#[test]
+fn multiport_aggregation_merges_stats() {
+    let mut config = quick(TopologyKind::Tree, 1.0);
+    config.simulated_ports = 3;
+    let r = simulate(&config, Workload::Nw);
+    assert_eq!(r.reads + r.writes, 3 * 800);
+}
+
+#[test]
+fn speedup_helper_matches_walls() {
+    let chain = simulate(&quick(TopologyKind::Chain, 1.0), Workload::Kmeans);
+    let tree = simulate(&quick(TopologyKind::Tree, 1.0), Workload::Kmeans);
+    let pct = speedup_pct(chain.wall, tree.wall);
+    let manual = (chain.wall.as_ps() as f64 / tree.wall.as_ps() as f64 - 1.0) * 100.0;
+    assert!((pct - manual).abs() < 1e-9);
+}

@@ -1,0 +1,223 @@
+//! Shape-level regression tests for the paper's headline claims. These run
+//! small but non-trivial simulations (a few thousand requests), so they
+//! are the slowest tests in the workspace — and also the ones that protect
+//! the reproduction itself.
+
+use mn_core::{simulate, speedup_pct, SystemConfig};
+use mn_noc::ArbiterKind;
+use mn_topo::{NvmPlacement, TopologyKind};
+use mn_workloads::Workload;
+
+const REQUESTS: u64 = 2_500;
+
+fn config(topology: TopologyKind, dram_fraction: f64, placement: NvmPlacement) -> SystemConfig {
+    let mut c = SystemConfig::paper_baseline(topology, dram_fraction).expect("valid");
+    c.requests_per_port = REQUESTS;
+    c.nvm_placement = placement;
+    c
+}
+
+fn wall(topology: TopologyKind, dram_fraction: f64, workload: Workload) -> mn_sim::SimTime {
+    simulate(
+        &config(topology, dram_fraction, NvmPlacement::Last),
+        workload,
+    )
+    .wall
+}
+
+#[test]
+fn fig4_tree_beats_ring_beats_chain() {
+    for workload in [Workload::Dct, Workload::Bit, Workload::Kmeans] {
+        let chain = wall(TopologyKind::Chain, 1.0, workload);
+        let ring = wall(TopologyKind::Ring, 1.0, workload);
+        let tree = wall(TopologyKind::Tree, 1.0, workload);
+        assert!(tree < ring, "{workload}: tree {tree} !< ring {ring}");
+        assert!(ring < chain, "{workload}: ring {ring} !< chain {chain}");
+        // The tree's advantage is substantial (the paper sees up to ~40%).
+        assert!(
+            speedup_pct(chain, tree) > 10.0,
+            "{workload}: only {:+.1}%",
+            speedup_pct(chain, tree)
+        );
+    }
+}
+
+#[test]
+fn fig4_nw_moves_least() {
+    let gain = |w: Workload| {
+        let chain = wall(TopologyKind::Chain, 1.0, w);
+        let tree = wall(TopologyKind::Tree, 1.0, w);
+        speedup_pct(chain, tree)
+    };
+    let nw = gain(Workload::Nw);
+    for w in [Workload::Dct, Workload::Bit, Workload::Backprop] {
+        assert!(gain(w) > nw, "{w} should benefit more than NW");
+    }
+}
+
+#[test]
+fn fig5_network_latency_dominates_on_the_chain() {
+    let r = simulate(
+        &config(TopologyKind::Chain, 1.0, NvmPlacement::Last),
+        Workload::Dct,
+    );
+    let b = &r.breakdown;
+    let network = b.to_memory.mean_ns() + b.from_memory.mean_ns();
+    assert!(
+        network > 2.0 * b.in_memory.mean_ns(),
+        "network {network:.1} vs memory {:.1}",
+        b.in_memory.mean_ns()
+    );
+}
+
+#[test]
+fn fig5_request_path_out_queues_response_path() {
+    // Response priority on the shared links pushes queuing onto requests.
+    let r = simulate(
+        &config(TopologyKind::Chain, 1.0, NvmPlacement::Last),
+        Workload::Kmeans,
+    );
+    let b = &r.breakdown;
+    assert!(b.to_memory.mean_ns() > b.from_memory.mean_ns());
+}
+
+#[test]
+fn fig5_nw_has_largest_memory_share() {
+    let share = |w: Workload| {
+        let r = simulate(&config(TopologyKind::Chain, 1.0, NvmPlacement::Last), w);
+        r.breakdown.fractions().1
+    };
+    let nw = share(Workload::Nw);
+    for w in [Workload::Dct, Workload::Bit, Workload::Backprop] {
+        assert!(nw > share(w), "{w} should be more network-bound than NW");
+    }
+}
+
+#[test]
+fn fig7_nvm_mixes_stay_well_above_the_chain() {
+    for workload in [Workload::Dct, Workload::Backprop] {
+        let chain = wall(TopologyKind::Chain, 1.0, workload);
+        for fraction in [0.5, 0.0] {
+            let mixed = wall(TopologyKind::Tree, fraction, workload);
+            assert!(
+                speedup_pct(chain, mixed) > 0.0,
+                "{workload} {fraction}: NVM tree should beat the DRAM chain"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig11_metacube_wins_and_prefers_all_dram() {
+    for workload in [Workload::Dct, Workload::Kmeans] {
+        let chain = wall(TopologyKind::Chain, 1.0, workload);
+        let tree = wall(TopologyKind::Tree, 1.0, workload);
+        let meta = wall(TopologyKind::MetaCube, 1.0, workload);
+        assert!(
+            meta <= tree,
+            "{workload}: MetaCube at least matches the tree"
+        );
+        assert!(speedup_pct(chain, meta) > 15.0);
+        // §5.2: MetaCube is the topology where 100% DRAM beats the mixes.
+        let meta_half = wall(TopologyKind::MetaCube, 0.5, workload);
+        assert!(meta < meta_half);
+    }
+}
+
+#[test]
+fn fig11_skiplist_suffers_on_write_heavy_traffic() {
+    // Writes ride the 16-hop chain; BACKPROP pays for it.
+    let tree = wall(TopologyKind::Tree, 1.0, Workload::Backprop);
+    let skip = wall(TopologyKind::SkipList, 1.0, Workload::Backprop);
+    assert!(skip > tree);
+}
+
+#[test]
+fn fig12_combined_techniques_rescue_the_skiplist() {
+    let plain = config(TopologyKind::SkipList, 1.0, NvmPlacement::Last);
+    let mut combined = plain.clone().with_arbiter(ArbiterKind::AdaptiveDistance);
+    combined.write_burst_routing = true;
+    let before = simulate(&plain, Workload::Backprop).wall;
+    let after = simulate(&combined, Workload::Backprop).wall;
+    assert!(
+        speedup_pct(before, after) > 5.0,
+        "write-burst routing + adaptive arbitration must recover BACKPROP, got {:+.1}%",
+        speedup_pct(before, after)
+    );
+}
+
+#[test]
+fn fig13_fewer_ports_degrade_linear_topologies_most() {
+    let degradation = |topology| {
+        let eight = config(topology, 1.0, NvmPlacement::Last);
+        let mut four = eight.clone();
+        four.ports = 4;
+        let t8 = simulate(&eight, Workload::Dct).wall;
+        let t4 = simulate(&four, Workload::Dct).wall;
+        speedup_pct(t8, t4) // negative: four ports are slower
+    };
+    let chain = degradation(TopologyKind::Chain);
+    let meta = degradation(TopologyKind::MetaCube);
+    assert!(chain < 0.0, "chain must lose performance: {chain:+.1}%");
+    assert!(meta > chain, "MetaCube degrades less than the chain");
+}
+
+#[test]
+fn fig14_capacity_cut_helps_dram_hurts_nvm() {
+    let delta = |fraction: f64| {
+        let two = config(TopologyKind::Chain, fraction, NvmPlacement::Last);
+        let mut one = two.clone();
+        one.total_capacity_gb = 1024;
+        let t2 = simulate(&two, Workload::Dct).wall;
+        let t1 = simulate(&one, Workload::Dct).wall;
+        speedup_pct(t2, t1)
+    };
+    let dram = delta(1.0);
+    let nvm = delta(0.0);
+    assert!(
+        dram > 0.0,
+        "all-DRAM gains from a shorter network: {dram:+.1}%"
+    );
+    assert!(
+        dram > nvm,
+        "NVM benefits less (or loses): {dram:+.1}% vs {nvm:+.1}%"
+    );
+}
+
+#[test]
+fn fig15_energy_shapes() {
+    let energy = |topology, fraction: f64| {
+        simulate(
+            &config(topology, fraction, NvmPlacement::Last),
+            Workload::Bit,
+        )
+        .energy
+    };
+    // Network energy dominates the all-DRAM chain...
+    let chain = energy(TopologyKind::Chain, 1.0);
+    assert!(chain.network > chain.read + chain.write);
+    // ...the tree moves fewer bit-hops than the chain...
+    let tree = energy(TopologyKind::Tree, 1.0);
+    assert!(tree.network < chain.network);
+    // ...the skip-list pays for its write detours relative to the tree...
+    let skip = energy(TopologyKind::SkipList, 1.0);
+    assert!(skip.network > tree.network);
+    // ...and the all-NVM chain slashes network energy ~3x but its write
+    // energy exceeds the DRAM chain's total write+read energy.
+    let nvm = energy(TopologyKind::Chain, 0.0);
+    assert!(nvm.network.as_pj() < chain.network.as_pj() / 2.0);
+    assert!(nvm.write > chain.write * 5.0);
+}
+
+#[test]
+fn nvm_first_vs_last_changes_outcomes() {
+    let last = simulate(
+        &config(TopologyKind::Chain, 0.5, NvmPlacement::Last),
+        Workload::Dct,
+    );
+    let first = simulate(
+        &config(TopologyKind::Chain, 0.5, NvmPlacement::First),
+        Workload::Dct,
+    );
+    assert_ne!(last.wall, first.wall, "placement must matter on a chain");
+}

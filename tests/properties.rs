@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: topology construction, routing, address decoding, the
+//! event queue, bank timing, and packet conservation in the network.
+
+use proptest::prelude::*;
+
+use mn_core::AddressMap;
+use mn_mem::{Bank, MemAccess, MemTechSpec, QuadrantController};
+use mn_noc::{Network, NocConfig, Packet, PacketKind};
+use mn_sim::{EventQueue, SimTime};
+use mn_topo::{CubeTech, PathClass, Placement, Topology, TopologyKind};
+use mn_workloads::{TraceGenerator, Workload};
+
+fn arb_topology_kind() -> impl Strategy<Value = TopologyKind> {
+    // Includes the mesh extension: the invariants hold for it too.
+    prop::sample::select(TopologyKind::ALL_EXTENDED.to_vec())
+}
+
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    prop::collection::vec(
+        prop::sample::select(vec![CubeTech::Dram, CubeTech::Nvm]),
+        1..24,
+    )
+    .prop_map(Placement::from_techs)
+}
+
+proptest! {
+    #[test]
+    fn topology_invariants(kind in arb_topology_kind(), placement in arb_placement()) {
+        let topo = Topology::build(kind, &placement).expect("non-empty placements build");
+        // Every cube exists, respects the 4-port budget, and is reachable
+        // on both path classes.
+        let routes = topo.routing();
+        prop_assert_eq!(topo.cube_count(), placement.cube_count());
+        for (cube, _) in topo.cubes() {
+            prop_assert!(topo.degree(cube) <= 4);
+            let read = routes.read_hops(topo.host(), cube);
+            let write = routes.write_hops(topo.host(), cube);
+            prop_assert!(read >= 1);
+            prop_assert!(write >= read, "write path never shorter than read path");
+        }
+    }
+
+    #[test]
+    fn skiplist_reads_never_worse_than_chain_hops(n in 1usize..24) {
+        let placement = Placement::homogeneous(n, CubeTech::Dram);
+        let chain = Topology::build(TopologyKind::Chain, &placement).unwrap();
+        let skip = Topology::build(TopologyKind::SkipList, &placement).unwrap();
+        let chain_routes = chain.routing();
+        let skip_routes = skip.routing();
+        for pos in 1..=n as u32 {
+            let c = chain.cube_at_position(pos).unwrap();
+            let s = skip.cube_at_position(pos).unwrap();
+            prop_assert!(
+                skip_routes.read_hops(skip.host(), s)
+                    <= chain_routes.read_hops(chain.host(), c)
+            );
+            // Writes ride the chain: identical hop count.
+            prop_assert_eq!(
+                skip_routes.write_hops(skip.host(), s),
+                chain_routes.read_hops(chain.host(), c)
+            );
+        }
+    }
+
+    #[test]
+    fn routing_paths_are_loop_free(kind in arb_topology_kind(), n in 1usize..20) {
+        let topo = Topology::build(kind, &Placement::homogeneous(n, CubeTech::Dram)).unwrap();
+        let routes = topo.routing();
+        for (cube, _) in topo.cubes() {
+            for class in PathClass::ALL {
+                let path = routes.path(class, topo.host(), cube);
+                let mut seen = path.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), path.len(), "path revisits a node");
+            }
+        }
+    }
+
+    #[test]
+    fn address_map_covers_and_balances(dram in 1u32..12, nvm in 0u32..4) {
+        let mut techs = vec![CubeTech::Dram; dram as usize];
+        techs.extend(std::iter::repeat_n(CubeTech::Nvm, nvm as usize));
+        let placement = Placement::from_techs(techs);
+        let topo = Topology::build(TopologyKind::Chain, &placement).unwrap();
+        let map = AddressMap::new(&topo, &placement, 256, 64);
+        let units = map.units() as u64;
+        // One full cycle of blocks touches each cube exactly its
+        // capacity-units many times.
+        let mut counts = std::collections::HashMap::new();
+        for block in 0..units {
+            let d = map.decode(block * 256);
+            prop_assert!(d.quadrant < 4);
+            prop_assert!(d.bank < 64);
+            *counts.entry(d.cube).or_insert(0u32) += 1;
+        }
+        for (cube, tech) in topo.cubes() {
+            prop_assert_eq!(counts[&cube], tech.capacity_units());
+        }
+    }
+
+    #[test]
+    fn event_queue_matches_sorted_reference(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_ps(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(t, i)| (t, i)); // stable by insertion order
+        for (t, i) in expected {
+            let (qt, qi) = queue.pop().expect("same length");
+            prop_assert_eq!(qt, SimTime::from_ps(t));
+            prop_assert_eq!(qi, i);
+        }
+        prop_assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn bank_timing_is_monotonic(rows in prop::collection::vec((0u64..8, any::<bool>()), 1..50)) {
+        let spec = MemTechSpec::nvm_pcm();
+        let mut bank = Bank::new();
+        let mut now = SimTime::ZERO;
+        let mut last_completion = SimTime::ZERO;
+        for (row, is_write) in rows {
+            let out = bank.access(now, row, is_write, &spec.timings);
+            prop_assert!(out.completed_at >= now);
+            prop_assert!(out.bank_free_at >= out.completed_at);
+            prop_assert!(out.completed_at >= last_completion);
+            last_completion = out.completed_at;
+            now = out.bank_free_at;
+        }
+    }
+
+    #[test]
+    fn controller_conserves_requests(accesses in prop::collection::vec((0u32..4, 0u64..4, any::<bool>()), 1..40)) {
+        let mut ctrl = QuadrantController::new(MemTechSpec::dram_hbm(), 4, 64);
+        let mut now = SimTime::ZERO;
+        let mut completed = std::collections::HashSet::new();
+        for (token, (bank, row, is_write)) in accesses.iter().copied().enumerate() {
+            let access = if is_write {
+                MemAccess::write(token as u64, bank, row)
+            } else {
+                MemAccess::read(token as u64, bank, row)
+            };
+            ctrl.enqueue(access, now).expect("capacity 64 suffices");
+        }
+        loop {
+            for c in ctrl.advance(now) {
+                prop_assert!(completed.insert(c.token), "token completed twice");
+            }
+            match ctrl.next_event_time() {
+                Some(t) => now = now.max(t),
+                None => break,
+            }
+        }
+        prop_assert_eq!(completed.len(), accesses.len());
+    }
+
+    #[test]
+    fn network_conserves_packets(dests in prop::collection::vec(1u32..16, 1..60)) {
+        let topo = Topology::build(
+            TopologyKind::SkipList,
+            &Placement::homogeneous(16, CubeTech::Dram),
+        ).unwrap();
+        let mut net = Network::new(&topo, NocConfig::default());
+        let mut now = SimTime::ZERO;
+        let mut pending: std::collections::VecDeque<Packet> = dests
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| {
+                let dst = topo.cube_at_position(pos).unwrap();
+                let kind = if i % 3 == 0 { PacketKind::WriteRequest } else { PacketKind::ReadRequest };
+                Packet::request(i as u64, kind, topo.host(), dst)
+            })
+            .collect();
+        let mut delivered = std::collections::HashSet::new();
+        loop {
+            while let Some(pkt) = pending.front() {
+                if net.can_inject(topo.host(), 0, pkt) {
+                    let pkt = pending.pop_front().expect("non-empty");
+                    net.inject(topo.host(), 0, pkt, now).expect("space checked");
+                } else {
+                    break;
+                }
+            }
+            for node in net.advance(now) {
+                while let Some(d) = net.take_delivery(node, now) {
+                    prop_assert!(delivered.insert(d.packet.token), "duplicate delivery");
+                }
+            }
+            match net.next_event_time() {
+                Some(t) => now = t,
+                None if pending.is_empty() => break,
+                // Buffers full with no events would be a deadlock.
+                None => prop_assert!(false, "network wedged with pending injections"),
+            }
+        }
+        prop_assert_eq!(delivered.len(), dests.len());
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn traces_stay_in_bounds(seed in any::<u64>(), space_shift in 20u32..32) {
+        let space = 1u64 << space_shift;
+        let mut gen = TraceGenerator::new(Workload::Hotspot.profile(), space, seed);
+        for _ in 0..500 {
+            let r = gen.next().expect("infinite");
+            prop_assert!(r.addr < space);
+            prop_assert_eq!(r.addr % 64, 0);
+        }
+    }
+}
