@@ -2,9 +2,10 @@
 //! half- vs full-duplex links, arbitration schemes, and skip-list write
 //! routing. These run short end-to-end simulations and report their wall
 //! clock; the *simulated* outcomes of the same ablations are what the
-//! fig10/fig12 binaries report.
+//! fig10/fig12 binaries report. Self-contained harness, no external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use mn_core::{simulate, SystemConfig};
 use mn_noc::{ArbiterKind, LinkDuplex};
@@ -17,52 +18,43 @@ fn quick(topology: TopologyKind) -> SystemConfig {
     c
 }
 
-fn bench_duplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("duplex_ablation");
-    group.sample_size(10);
-    for duplex in [LinkDuplex::Half, LinkDuplex::Full] {
-        group.bench_function(format!("{duplex:?}"), |b| {
-            let mut config = quick(TopologyKind::Chain);
-            config.noc.duplex = duplex;
-            b.iter(|| simulate(&config, Workload::Dct))
-        });
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm up
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
     }
-    group.finish();
+    let per_iter = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<44} {:>10.2} ms/iter", per_iter * 1e3);
 }
 
-fn bench_arbiters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("arbiter_ablation");
-    group.sample_size(10);
+fn main() {
+    for duplex in [LinkDuplex::Half, LinkDuplex::Full] {
+        let mut config = quick(TopologyKind::Chain);
+        config.noc.duplex = duplex;
+        bench(&format!("duplex_ablation/{duplex:?}"), 10, || {
+            simulate(&config, Workload::Dct)
+        });
+    }
+
     for arbiter in [
         ArbiterKind::RoundRobin,
         ArbiterKind::Distance,
         ArbiterKind::AdaptiveDistance,
     ] {
-        group.bench_function(format!("{arbiter:?}"), |b| {
-            let config = quick(TopologyKind::Chain).with_arbiter(arbiter);
-            b.iter(|| simulate(&config, Workload::Dct))
+        let config = quick(TopologyKind::Chain).with_arbiter(arbiter);
+        bench(&format!("arbiter_ablation/{arbiter:?}"), 10, || {
+            simulate(&config, Workload::Dct)
         });
     }
-    group.finish();
-}
 
-fn bench_skiplist_write_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("skiplist_write_routing");
-    group.sample_size(10);
     for burst_routing in [false, true] {
-        group.bench_function(format!("burst_routing_{burst_routing}"), |b| {
-            let mut config = quick(TopologyKind::SkipList);
-            config.write_burst_routing = burst_routing;
-            b.iter(|| simulate(&config, Workload::Backprop))
-        });
+        let mut config = quick(TopologyKind::SkipList);
+        config.write_burst_routing = burst_routing;
+        bench(
+            &format!("skiplist_write_routing/burst_routing_{burst_routing}"),
+            10,
+            || simulate(&config, Workload::Backprop),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_duplex,
-    bench_arbiters,
-    bench_skiplist_write_routing
-);
-criterion_main!(benches);

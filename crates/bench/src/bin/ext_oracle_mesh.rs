@@ -7,12 +7,14 @@
 //!    larger than a tree no matter which memory cube is connected to the
 //!    host"). Verify the exclusion was justified end to end.
 
-use mn_bench::{config_for, print_speedup_table, speedup_table};
+use mn_bench::{config_for, print_speedup_table, Harness};
 use mn_noc::ArbiterKind;
 use mn_topo::{CubeTech, NvmPlacement, Placement, Topology, TopologyKind, TopologyMetrics};
 use mn_workloads::Workload;
 
 fn main() {
+    let mut harness = Harness::new();
+
     // --- 1. distance-as-age vs the oracle -------------------------------
     let grid = vec![
         config_for(TopologyKind::Chain, 1.0, NvmPlacement::Last),
@@ -27,7 +29,7 @@ fn main() {
             "oracle true-age arbitration (ideal)",
         ),
     ] {
-        let rows = speedup_table(&grid, &workloads, Some(arbiter));
+        let rows = harness.speedup_table(&grid, &workloads, Some(arbiter));
         print_speedup_table(&format!("Extension: {title}, vs 100%-C RR"), &rows);
     }
 
@@ -49,7 +51,7 @@ fn main() {
          avg read hops: mesh {:.2} vs tree {:.2}; max: {} vs {}",
         mesh_m.avg_read_hops, tree_m.avg_read_hops, mesh_m.max_read_hops, tree_m.max_read_hops
     );
-    let rows = speedup_table(
+    let rows = harness.speedup_table(
         &[
             config_for(TopologyKind::Mesh, 1.0, NvmPlacement::Last),
             config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last),
@@ -59,4 +61,5 @@ fn main() {
     );
     print_speedup_table("mesh vs tree, end to end (vs 100%-C RR)", &rows);
     println!("\nexpected: the tree wins — the paper was right to exclude the mesh.");
+    harness.finish();
 }

@@ -6,20 +6,34 @@
 //! responses are prioritized on the shared links; NW has the largest
 //! in-memory share.
 
-use mn_bench::{config_for, run_one};
+use mn_bench::{config_for, Harness};
+use mn_campaign::CampaignPoint;
 use mn_topo::{NvmPlacement, TopologyKind};
 use mn_workloads::Workload;
 
+const TOPOLOGIES: [TopologyKind; 3] = [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree];
+
 fn main() {
+    let mut harness = Harness::new();
+    let points: Vec<CampaignPoint> = Workload::ALL
+        .into_iter()
+        .flat_map(|wl| {
+            TOPOLOGIES
+                .into_iter()
+                .map(move |topo| CampaignPoint::new(config_for(topo, 1.0, NvmPlacement::Last), wl))
+        })
+        .collect();
+    let results = harness.run_grid(points);
+
     println!("== Fig. 5: latency breakdown relative to chain total ==");
     println!(
         "{:<10} {:<6} {:>10} {:>10} {:>10} {:>10}",
         "workload", "topo", "to-mem", "in-mem", "from-mem", "total(ns)"
     );
-    for wl in Workload::ALL {
+    for (w, wl) in Workload::ALL.into_iter().enumerate() {
         let mut chain_total = None;
-        for topo in [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree] {
-            let result = run_one(&config_for(topo, 1.0, NvmPlacement::Last), wl);
+        for (t, topo) in TOPOLOGIES.into_iter().enumerate() {
+            let result = &results[w * TOPOLOGIES.len() + t];
             let b = &result.breakdown;
             let total = b.total_mean_ns();
             let base = *chain_total.get_or_insert(total);
@@ -34,4 +48,5 @@ fn main() {
             );
         }
     }
+    harness.finish();
 }

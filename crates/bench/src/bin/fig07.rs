@@ -5,20 +5,21 @@
 //! baseline; the all-NVM point varies most by workload and is weakest for
 //! low-contention workloads (NW).
 
-use mn_bench::{config_for, print_speedup_table, speedup_table};
-use mn_topo::{NvmPlacement, TopologyKind};
+use mn_bench::{config_for, print_speedup_table, Harness};
+use mn_core::mix_grid;
+use mn_topo::TopologyKind;
 use mn_workloads::Workload;
 
 fn main() {
-    let configs = vec![
-        config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last),
-        config_for(TopologyKind::Tree, 0.5, NvmPlacement::Last),
-        config_for(TopologyKind::Tree, 0.5, NvmPlacement::First),
-        config_for(TopologyKind::Tree, 0.0, NvmPlacement::Last),
-    ];
-    let rows = speedup_table(&configs, &Workload::ALL, None);
+    let mut harness = Harness::new();
+    let configs: Vec<_> = mix_grid()
+        .into_iter()
+        .map(|mix| config_for(TopologyKind::Tree, mix.dram_fraction, mix.placement))
+        .collect();
+    let rows = harness.speedup_table(&configs, &Workload::ALL, None);
     print_speedup_table(
         "Fig. 7: tree topology with different DRAM:NVM ratios (vs 100%-Chain)",
         &rows,
     );
+    harness.finish();
 }

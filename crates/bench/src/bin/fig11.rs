@@ -6,19 +6,21 @@
 //! tree on write-heavy workloads (its writes ride the long chain) and
 //! shows its best relative results on NVM-L mixes.
 
-use mn_bench::{print_speedup_table, speedup_table, twelve_config_grid};
+use mn_bench::{print_speedup_table, twelve_config_grid, Harness};
 use mn_topo::TopologyKind;
 use mn_workloads::Workload;
 
 fn main() {
+    let mut harness = Harness::new();
     let grid = twelve_config_grid([
         TopologyKind::Tree,
         TopologyKind::SkipList,
         TopologyKind::MetaCube,
     ]);
-    let rows = speedup_table(&grid, &Workload::ALL, None);
+    let rows = harness.speedup_table(&grid, &Workload::ALL, None);
     print_speedup_table(
         "Fig. 11: Tree vs SkipList vs MetaCube, round-robin arbitration (vs 100%-C)",
         &rows,
     );
+    harness.finish();
 }

@@ -6,12 +6,13 @@
 //! counterpart or holds; the skip-list regains the write-heavy losses
 //! (BACKPROP benefits most of all workloads); MetaCube stays on top.
 
-use mn_bench::{print_speedup_table, speedup_table, twelve_config_grid};
+use mn_bench::{print_speedup_table, twelve_config_grid, Harness};
 use mn_noc::ArbiterKind;
 use mn_topo::TopologyKind;
 use mn_workloads::Workload;
 
 fn main() {
+    let mut harness = Harness::new();
     let mut grid = twelve_config_grid([
         TopologyKind::Tree,
         TopologyKind::SkipList,
@@ -20,9 +21,10 @@ fn main() {
     for config in &mut grid {
         config.write_burst_routing = true; // only skip lists act on this
     }
-    let rows = speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::AdaptiveDistance));
+    let rows = harness.speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::AdaptiveDistance));
     print_speedup_table(
         "Fig. 12: all techniques combined — adaptive distance arbitration + write-burst routing (vs 100%-C)",
         &rows,
     );
+    harness.finish();
 }

@@ -8,48 +8,46 @@
 //! all-NVM configurations move least (memory-latency-bound); MetaCube is
 //! nearly flat on some workloads.
 
-use mn_bench::{config_for, print_speedup_table, run_one, SpeedupRow};
+use mn_bench::{config_for, mix_topology_grid, print_speedup_table, Harness, SpeedupRow};
+use mn_campaign::CampaignPoint;
 use mn_core::speedup_pct;
-use mn_topo::{NvmPlacement, TopologyKind};
 use mn_workloads::Workload;
 
 fn main() {
-    let mixes = [
-        (1.0, NvmPlacement::Last, "100%"),
-        (0.5, NvmPlacement::Last, "50% (NVM-L)"),
-        (0.5, NvmPlacement::First, "50% (NVM-F)"),
-        (0.0, NvmPlacement::Last, "0%"),
-    ];
-    let topologies = [
-        TopologyKind::Chain,
-        TopologyKind::Ring,
-        TopologyKind::Tree,
-        TopologyKind::SkipList,
-        TopologyKind::MetaCube,
-    ];
+    let mut harness = Harness::new();
+    let grid = mix_topology_grid();
+
+    // Two points per (workload, configuration): the eight-port baseline
+    // and the four-port variant, submitted as one campaign.
+    let mut points = Vec::new();
+    for wl in Workload::ALL {
+        for &(mix, topo) in &grid {
+            let eight = config_for(topo, mix.dram_fraction, mix.placement);
+            let mut four = eight.clone();
+            four.ports = 4;
+            // Hold total system work constant: each of the four ports
+            // serves twice the address space and twice the requests.
+            four.requests_per_port = eight.requests_per_port * 2;
+            points.push(CampaignPoint::new(eight, wl));
+            points.push(CampaignPoint::new(four, wl));
+        }
+    }
+    let results = harness.run_grid(points);
 
     let mut rows = Vec::new();
-    for wl in Workload::ALL {
-        let mut entries = Vec::new();
-        for (frac, place, _) in mixes {
-            for topo in topologies {
-                let eight = config_for(topo, frac, place);
-                let mut four = eight.clone();
-                four.ports = 4;
-                // Hold total system work constant: each of the four ports
-                // serves twice the address space and twice the requests.
-                four.requests_per_port = eight.requests_per_port * 2;
-                let t8 = run_one(&eight, wl).wall;
-                let t4 = run_one(&four, wl).wall;
+    for (w, wl) in Workload::ALL.into_iter().enumerate() {
+        let entries = grid
+            .iter()
+            .enumerate()
+            .map(|(g, _)| {
+                let eight = &results[(w * grid.len() + g) * 2];
+                let four = &results[(w * grid.len() + g) * 2 + 1];
                 // Change in performance when halving the port count: the
                 // four-port system's speedup relative to the same
                 // configuration at eight ports.
-                entries.push((
-                    format!("{}%-{}", (frac * 100.0) as u32, topo.label()),
-                    speedup_pct(t8, t4),
-                ));
-            }
-        }
+                (eight.label.clone(), speedup_pct(eight.wall, four.wall))
+            })
+            .collect();
         rows.push(SpeedupRow {
             workload: wl.label().to_string(),
             entries,
@@ -59,4 +57,5 @@ fn main() {
         "Fig. 13: speedup change moving from eight to four host ports (2 TB fixed)",
         &rows,
     );
+    harness.finish();
 }

@@ -8,44 +8,39 @@
 //! configurations lose — fewer cubes means less memory-level parallelism
 //! and more queuing inside the (slower) cubes.
 
-use mn_bench::{config_for, run_one};
-use mn_core::speedup_pct;
-use mn_topo::{NvmPlacement, TopologyKind};
+use mn_bench::{config_for, mix_topology_grid, Harness};
+use mn_campaign::CampaignPoint;
+use mn_core::{ratio_label, speedup_pct};
 use mn_workloads::Workload;
 
 fn main() {
-    println!("== Fig. 14: average speedup of a 1 TB system over the 2 TB baseline ==");
-    let mixes = [
-        (1.0, NvmPlacement::Last, "100%"),
-        (0.5, NvmPlacement::Last, "50% (NVM-L)"),
-        (0.5, NvmPlacement::First, "50% (NVM-F)"),
-        (0.0, NvmPlacement::Last, "0%"),
-    ];
-    let topologies = [
-        TopologyKind::Chain,
-        TopologyKind::Ring,
-        TopologyKind::Tree,
-        TopologyKind::SkipList,
-        TopologyKind::MetaCube,
-    ];
-    println!("{:<14} {:<10} {:>12}", "mix", "topology", "avg speedup");
-    for (frac, place, mix_label) in mixes {
-        for topo in topologies {
-            let two_tb = config_for(topo, frac, place);
-            let mut one_tb = two_tb.clone();
-            one_tb.total_capacity_gb = 1024;
-            let mut sum = 0.0;
-            for wl in Workload::ALL {
-                let t2 = run_one(&two_tb, wl).wall;
-                let t1 = run_one(&one_tb, wl).wall;
-                sum += speedup_pct(t2, t1);
-            }
-            println!(
-                "{:<14} {:<10} {:>+11.2}%",
-                mix_label,
-                topo.to_string(),
-                sum / Workload::ALL.len() as f64
-            );
+    let mut harness = Harness::new();
+    let grid = mix_topology_grid();
+
+    let mut points = Vec::new();
+    for &(mix, topo) in &grid {
+        let two_tb = config_for(topo, mix.dram_fraction, mix.placement);
+        let mut one_tb = two_tb.clone();
+        one_tb.total_capacity_gb = 1024;
+        for wl in Workload::ALL {
+            points.push(CampaignPoint::new(two_tb.clone(), wl));
+            points.push(CampaignPoint::new(one_tb.clone(), wl));
         }
     }
+    let results = harness.run_grid(points);
+
+    println!("== Fig. 14: average speedup of a 1 TB system over the 2 TB baseline ==");
+    println!("{:<14} {:<10} {:>12}", "mix", "topology", "avg speedup");
+    let per_config = Workload::ALL.len() * 2;
+    for (g, &(mix, topo)) in grid.iter().enumerate() {
+        let pairs = results[g * per_config..(g + 1) * per_config].chunks_exact(2);
+        let sum: f64 = pairs.map(|p| speedup_pct(p[0].wall, p[1].wall)).sum();
+        println!(
+            "{:<14} {:<10} {:>+11.2}%",
+            ratio_label(mix),
+            topo.to_string(),
+            sum / Workload::ALL.len() as f64
+        );
+    }
+    harness.finish();
 }

@@ -8,50 +8,44 @@
 //! network energy roughly 3x but its write energy pushes the total above
 //! the baseline.
 
-use mn_bench::{config_for, run_one};
-use mn_topo::{NvmPlacement, TopologyKind};
+use mn_bench::{config_for, mix_topology_grid, Harness};
+use mn_campaign::CampaignPoint;
 use mn_workloads::Workload;
 
 fn main() {
-    println!("== Fig. 15: energy breakdown relative to 100%-C total ==");
-    let mixes = [
-        (1.0, NvmPlacement::Last),
-        (0.5, NvmPlacement::Last),
-        (0.5, NvmPlacement::First),
-        (0.0, NvmPlacement::Last),
-    ];
-    let topologies = [
-        TopologyKind::Chain,
-        TopologyKind::Ring,
-        TopologyKind::Tree,
-        TopologyKind::SkipList,
-        TopologyKind::MetaCube,
-    ];
+    let mut harness = Harness::new();
+    let grid = mix_topology_grid();
 
-    // Average energy per configuration across all workloads.
-    let mut table = Vec::new();
-    for (frac, place) in mixes {
-        for topo in topologies {
-            let config = config_for(topo, frac, place);
-            let mut network = 0.0;
-            let mut read = 0.0;
-            let mut write = 0.0;
-            for wl in Workload::ALL {
-                let e = run_one(&config, wl).energy;
-                network += e.network.as_pj();
-                read += e.read.as_pj();
-                write += e.write.as_pj();
-            }
-            let n = Workload::ALL.len() as f64;
-            table.push((config.label(), network / n, read / n, write / n));
+    let mut points = Vec::new();
+    for &(mix, topo) in &grid {
+        let config = config_for(topo, mix.dram_fraction, mix.placement);
+        for wl in Workload::ALL {
+            points.push(CampaignPoint::new(config.clone(), wl));
         }
     }
+    let results = harness.run_grid(points);
+
+    // Average energy per configuration across all workloads.
+    let n = Workload::ALL.len();
+    let table: Vec<(String, f64, f64, f64)> = grid
+        .iter()
+        .enumerate()
+        .map(|(g, _)| {
+            let per_wl = &results[g * n..(g + 1) * n];
+            let network: f64 = per_wl.iter().map(|r| r.energy.network.as_pj()).sum();
+            let read: f64 = per_wl.iter().map(|r| r.energy.read.as_pj()).sum();
+            let write: f64 = per_wl.iter().map(|r| r.energy.write.as_pj()).sum();
+            let n = n as f64;
+            (per_wl[0].label.clone(), network / n, read / n, write / n)
+        })
+        .collect();
     let baseline_total: f64 = table
         .iter()
         .find(|(label, ..)| label == "100%-C")
         .map(|(_, n, r, w)| n + r + w)
         .expect("baseline present");
 
+    println!("== Fig. 15: energy breakdown relative to 100%-C total ==");
     println!(
         "{:<18} {:>9} {:>9} {:>9} {:>9}",
         "config", "network", "read", "write", "total"
@@ -65,4 +59,5 @@ fn main() {
             (n + r + w) / baseline_total * 100.0,
         );
     }
+    harness.finish();
 }

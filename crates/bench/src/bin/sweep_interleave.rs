@@ -5,21 +5,36 @@
 //! latency large enough for performance degradation. The smallest size,
 //! 64 bytes, caused reduction in row-buffer hits within the memory cubes."
 
-use mn_bench::{config_for, run_one};
+use mn_bench::{config_for, Harness};
+use mn_campaign::CampaignPoint;
 use mn_topo::{NvmPlacement, TopologyKind};
 use mn_workloads::Workload;
 
+const WORKLOADS: [Workload; 3] = [Workload::Dct, Workload::Matrixmul, Workload::Backprop];
+const SIZES: [u64; 3] = [64, 256, 1024];
+
 fn main() {
+    let mut harness = Harness::new();
+    let points: Vec<CampaignPoint> = WORKLOADS
+        .into_iter()
+        .flat_map(|wl| {
+            SIZES.into_iter().map(move |bytes| {
+                let mut config = config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last);
+                config.interleave_bytes = bytes;
+                CampaignPoint::new(config, wl)
+            })
+        })
+        .collect();
+    let results = harness.run_grid(points);
+
     println!("== interleave-granularity sweep (tree, all-DRAM) ==");
     println!(
         "{:<10} {:>8} {:>12} {:>12} {:>12}",
         "workload", "bytes", "wall", "net lat(ns)", "row hits"
     );
-    for wl in [Workload::Dct, Workload::Matrixmul, Workload::Backprop] {
-        for bytes in [64u64, 256, 1024] {
-            let mut config = config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last);
-            config.interleave_bytes = bytes;
-            let r = run_one(&config, wl);
+    for (w, wl) in WORKLOADS.into_iter().enumerate() {
+        for (s, bytes) in SIZES.into_iter().enumerate() {
+            let r = &results[w * SIZES.len() + s];
             let b = &r.breakdown;
             println!(
                 "{:<10} {:>8} {:>12} {:>12.1} {:>11.1}%",
@@ -34,4 +49,5 @@ fn main() {
     }
     println!("expected shape: 64 B loses row-buffer hits; 1024 B concentrates");
     println!("bursts onto single cubes and raises network latency; 256 B balances.");
+    harness.finish();
 }

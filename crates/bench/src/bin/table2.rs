@@ -1,11 +1,13 @@
 //! Table 2: the evaluated system's configuration parameters, printed from
 //! the live defaults so the table can never drift from the code.
 
+use mn_campaign::{write_records, OutputFormat, Record, Value};
 use mn_core::SystemConfig;
 use mn_mem::MemTechSpec;
 use mn_topo::TopologyKind;
 
 fn main() {
+    let format = OutputFormat::from_args();
     let c = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).expect("baseline valid");
     let dram = MemTechSpec::dram_hbm();
     let nvm = MemTechSpec::nvm_pcm();
@@ -79,7 +81,19 @@ fn main() {
         ("Issue slots / port", c.window.to_string()),
         ("Host write buffer", c.host_write_buffer.to_string()),
     ];
-    for (name, value) in rows {
+    for (name, value) in &rows {
         println!("{name:<20} {value}");
     }
+
+    let records: Vec<Record> = rows
+        .into_iter()
+        .map(|(name, value)| {
+            vec![
+                ("parameter", Value::Str(name.to_string())),
+                ("value", Value::Str(value)),
+            ]
+        })
+        .collect();
+    write_records(&mut std::io::stdout().lock(), format, &records)
+        .expect("stdout closed mid-emission");
 }

@@ -1,21 +1,32 @@
 //! # mn-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper (see `DESIGN.md` for the
-//! index). This library holds the shared sweep/printing machinery so each
-//! binary stays a declarative description of its experiment.
+//! index). Each binary declares its grid of `(configuration, workload)`
+//! points and submits it to the `mn-campaign` engine through a
+//! [`Harness`], which runs points across `MN_JOBS` workers, serves
+//! finished points from the on-disk result cache (`results/cache/`), and
+//! can append machine-readable per-point records after the text tables.
 //!
-//! All experiment binaries honor two environment variables:
+//! All experiment binaries honor:
 //!
 //! - `MN_REQUESTS` — requests per simulated port (default 6000; larger
 //!   runs are smoother but slower),
-//! - `MN_SEED` — RNG seed (default the configs' built-in seed).
+//! - `MN_SEED` — RNG seed (default the configs' built-in seed),
+//! - `MN_JOBS` — campaign worker threads (default: available parallelism),
+//! - `MN_CACHE_DIR` / `MN_CACHE=off` — result-cache location / disable,
+//! - `--format text|json|csv` — append per-point records to the tables.
+//!
+//! Malformed values are reported on stderr and the default applies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
 
-use mn_core::{simulate, speedup_pct, RunResult, SystemConfig};
+use mn_campaign::{
+    env_parse, write_point_records, Campaign, CampaignPoint, OutputFormat, PointOutcome,
+};
+use mn_core::{mix_grid, speedup_pct, MixSpec, RunResult, SystemConfig};
 use mn_noc::ArbiterKind;
 use mn_sim::SimTime;
 use mn_topo::{NvmPlacement, TopologyKind};
@@ -23,15 +34,12 @@ use mn_workloads::Workload;
 
 /// Requests per port for experiment runs (`MN_REQUESTS`, default 6000).
 pub fn requests_per_port() -> u64 {
-    std::env::var("MN_REQUESTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6_000)
+    env_parse("MN_REQUESTS").unwrap_or(6_000)
 }
 
 /// Optional seed override (`MN_SEED`).
 pub fn seed_override() -> Option<u64> {
-    std::env::var("MN_SEED").ok().and_then(|v| v.parse().ok())
+    env_parse("MN_SEED")
 }
 
 /// Applies the harness environment knobs to a config.
@@ -64,31 +72,39 @@ pub fn config_for(
 /// The 12-configuration grid of Figs. 10–12: three topologies x the four
 /// DRAM:NVM mixes, in the paper's column order.
 pub fn twelve_config_grid(topologies: [TopologyKind; 3]) -> Vec<SystemConfig> {
-    let mixes = [
-        (1.0, NvmPlacement::Last),
-        (0.5, NvmPlacement::Last),
-        (0.5, NvmPlacement::First),
-        (0.0, NvmPlacement::Last),
-    ];
     let mut grid = Vec::new();
-    for (frac, place) in mixes {
+    for mix in mix_grid() {
         for topo in topologies {
-            grid.push(config_for(topo, frac, place));
+            grid.push(config_for(topo, mix.dram_fraction, mix.placement));
         }
     }
     grid
 }
 
-/// Runs the `100%-C` round-robin baseline for every workload and returns
-/// its wall times, keyed by workload label.
-pub fn chain_baselines(workloads: &[Workload]) -> HashMap<String, SimTime> {
-    workloads
-        .iter()
-        .map(|&wl| {
-            let base = config_for(TopologyKind::Chain, 1.0, NvmPlacement::Last);
-            (wl.label().to_string(), simulate(&base, wl).wall)
-        })
-        .collect()
+/// The full `{mix} × {topology}` grid of Figs. 13–15: the paper's four
+/// DRAM:NVM mixes crossed with all five topologies, mix-major. The mixes
+/// come from [`mn_core::mix_grid`] and the topologies from
+/// [`TopologyKind::ALL`], so the figure binaries can no longer drift from
+/// the paper's grid (or from each other).
+pub fn mix_topology_grid() -> Vec<(MixSpec, TopologyKind)> {
+    let mut grid = Vec::new();
+    for mix in mix_grid() {
+        for topo in TopologyKind::ALL {
+            grid.push((mix, topo));
+        }
+    }
+    grid
+}
+
+/// The `100%-C` round-robin baseline every speedup figure normalizes
+/// against, sized (requests, seed) like `template` so the comparison is
+/// apples-to-apples without consulting the environment.
+pub fn baseline_config(template: &SystemConfig) -> SystemConfig {
+    let mut base = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0)
+        .expect("the all-DRAM chain is always realizable");
+    base.requests_per_port = template.requests_per_port;
+    base.seed = template.seed;
+    base
 }
 
 /// One row of a speedup table: workload label plus `(config label, %)`.
@@ -100,32 +116,124 @@ pub struct SpeedupRow {
     pub entries: Vec<(String, f64)>,
 }
 
-/// Runs `configs` x `workloads`, normalizing to the `100%-C` baseline, and
-/// optionally overriding the arbitration scheme.
-pub fn speedup_table(
-    configs: &[SystemConfig],
-    workloads: &[Workload],
-    arbiter: Option<ArbiterKind>,
-) -> Vec<SpeedupRow> {
-    let baselines = chain_baselines(workloads);
-    let mut rows = Vec::new();
-    for &wl in workloads {
-        let base = baselines[wl.label()];
-        let mut entries = Vec::new();
-        for config in configs {
-            let mut config = config.clone();
-            if let Some(arb) = arbiter {
-                config.noc.arbiter = arb;
-            }
-            let result = simulate(&config, wl);
-            entries.push((config.label(), speedup_pct(base, result.wall)));
-        }
-        rows.push(SpeedupRow {
-            workload: wl.label().to_string(),
-            entries,
-        });
+/// The per-binary front end to the campaign engine: builds grids, runs
+/// them (parallel + cached, per the environment), accumulates every
+/// outcome, and emits the optional `--format json|csv` records at the end.
+#[derive(Debug)]
+pub struct Harness {
+    campaign: Campaign,
+    format: OutputFormat,
+    outcomes: Vec<PointOutcome>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
     }
-    rows
+}
+
+impl Harness {
+    /// A harness configured from the environment (`MN_JOBS`, cache knobs)
+    /// and the process arguments (`--format`).
+    pub fn new() -> Harness {
+        Harness {
+            campaign: Campaign::from_env(),
+            format: OutputFormat::from_args(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// A harness for tests: explicit worker count, no cache, no stderr
+    /// reporting, no argument parsing.
+    pub fn bare(jobs: usize) -> Harness {
+        Harness {
+            campaign: Campaign::new(jobs).quiet(),
+            format: OutputFormat::Text,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Runs a grid of points through the engine; results come back in
+    /// submission order.
+    pub fn run_grid(&mut self, points: Vec<CampaignPoint>) -> Vec<RunResult> {
+        let outcome = self.campaign.run(points);
+        let results: Vec<RunResult> = outcome.outcomes.iter().map(|o| o.result.clone()).collect();
+        self.outcomes.extend(outcome.outcomes);
+        results
+    }
+
+    /// Runs `configs` x `workloads` (plus the shared `100%-C` baseline per
+    /// workload) as one campaign and returns the paper's speedup rows,
+    /// optionally overriding the arbitration scheme on every grid config.
+    pub fn speedup_table(
+        &mut self,
+        configs: &[SystemConfig],
+        workloads: &[Workload],
+        arbiter: Option<ArbiterKind>,
+    ) -> Vec<SpeedupRow> {
+        let Some(template) = configs.first() else {
+            return Vec::new();
+        };
+        let base = baseline_config(template);
+        let mut points: Vec<CampaignPoint> = workloads
+            .iter()
+            .map(|&wl| CampaignPoint::new(base.clone(), wl))
+            .collect();
+        for &wl in workloads {
+            for config in configs {
+                let mut config = config.clone();
+                if let Some(arb) = arbiter {
+                    config.noc.arbiter = arb;
+                }
+                points.push(CampaignPoint::new(config, wl));
+            }
+        }
+        let results = self.run_grid(points);
+
+        let (baselines, grid) = results.split_at(workloads.len());
+        let mut rows = Vec::new();
+        for (w, &wl) in workloads.iter().enumerate() {
+            let base_wall = baselines[w].wall;
+            let entries = grid[w * configs.len()..(w + 1) * configs.len()]
+                .iter()
+                .map(|r| (r.label.clone(), speedup_pct(base_wall, r.wall)))
+                .collect();
+            rows.push(SpeedupRow {
+                workload: wl.label().to_string(),
+                entries,
+            });
+        }
+        rows
+    }
+
+    /// Runs the `100%-C` baseline (sized like `template`) for every
+    /// workload and returns its wall times, keyed by workload label.
+    pub fn chain_baselines(
+        &mut self,
+        workloads: &[Workload],
+        template: &SystemConfig,
+    ) -> HashMap<String, SimTime> {
+        let base = baseline_config(template);
+        let points = workloads
+            .iter()
+            .map(|&wl| CampaignPoint::new(base.clone(), wl))
+            .collect();
+        self.run_grid(points)
+            .into_iter()
+            .map(|r| (r.workload.clone(), r.wall))
+            .collect()
+    }
+
+    /// Emits the accumulated per-point records in the requested format
+    /// (nothing, for the default text format). Call last, after the text
+    /// tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when stdout is gone (a broken pipe mid-emission).
+    pub fn finish(self) {
+        write_point_records(self.format, &self.outcomes).expect("stdout closed mid-emission");
+    }
 }
 
 /// Prints a speedup table with an `average` row, matching the paper's
@@ -158,11 +266,6 @@ pub fn print_speedup_table(title: &str, rows: &[SpeedupRow]) {
     println!();
 }
 
-/// Convenience: run one configuration under one workload.
-pub fn run_one(config: &SystemConfig, workload: Workload) -> RunResult {
-    simulate(config, workload)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +281,16 @@ mod tests {
     }
 
     #[test]
+    fn mix_topology_grid_covers_the_paper() {
+        let grid = mix_topology_grid();
+        assert_eq!(grid.len(), 20); // 4 mixes x 5 topologies
+        assert_eq!(grid[0].1, TopologyKind::Chain);
+        assert!((grid[0].0.dram_fraction - 1.0).abs() < 1e-12);
+        assert!((grid[19].0.dram_fraction).abs() < 1e-12);
+        assert_eq!(grid[19].1, TopologyKind::MetaCube);
+    }
+
+    #[test]
     fn tune_applies_env_defaults() {
         let c = config_for(TopologyKind::Chain, 1.0, NvmPlacement::Last);
         assert!(c.requests_per_port > 0);
@@ -185,15 +298,33 @@ mod tests {
 
     #[test]
     fn speedup_table_is_consistent() {
-        let mut configs = vec![config_for(TopologyKind::Tree, 1.0, NvmPlacement::Last)];
-        configs[0].requests_per_port = 300;
-        let mut fast = configs.clone();
-        fast[0].requests_per_port = 300;
-        // Using a tiny run, the table machinery produces one row/column.
-        std::env::set_var("MN_REQUESTS", "300");
-        let rows = speedup_table(&fast, &[Workload::Nw], None);
-        std::env::remove_var("MN_REQUESTS");
+        // The request count is threaded through the configs (and from
+        // there into the shared baseline) — no process-global environment
+        // mutation, which raced with other tests under the parallel
+        // harness.
+        let mut config = SystemConfig::paper_baseline(TopologyKind::Tree, 1.0).unwrap();
+        config.requests_per_port = 300;
+        let rows = Harness::bare(2).speedup_table(&[config], &[Workload::Nw], None);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].entries.len(), 1);
+        assert_eq!(rows[0].entries[0].0, "100%-T");
+    }
+
+    #[test]
+    fn baseline_inherits_template_sizing() {
+        let mut template = SystemConfig::paper_baseline(TopologyKind::MetaCube, 0.5).unwrap();
+        template.requests_per_port = 777;
+        template.seed = 42;
+        let base = baseline_config(&template);
+        assert_eq!(base.label(), "100%-C");
+        assert_eq!(base.requests_per_port, 777);
+        assert_eq!(base.seed, 42);
+    }
+
+    #[test]
+    fn empty_speedup_table() {
+        assert!(Harness::bare(1)
+            .speedup_table(&[], &[Workload::Nw], None)
+            .is_empty());
     }
 }

@@ -1,0 +1,170 @@
+//! The content-addressed on-disk result cache.
+//!
+//! Layout: one file per point under the cache directory (default
+//! `results/cache/`, override with `MN_CACHE_DIR`, disable with
+//! `MN_CACHE=off`), named by the point's 16-hex-digit
+//! [cache key](crate::CampaignPoint::cache_key):
+//!
+//! ```text
+//! results/cache/
+//!   1f2e3d4c5b6a7980.mnres
+//! ```
+//!
+//! Each file stores a version header, the full fingerprint, and the
+//! exactly-encoded result. Loads re-verify both the header and the
+//! fingerprint, so version skew or a hash collision degrades to a cache
+//! miss instead of a wrong result. Stores write to a temporary sibling and
+//! `rename` into place, which keeps concurrent writers (parallel workers,
+//! or two figure binaries sharing the chain baseline) from ever exposing a
+//! torn file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mn_core::RunResult;
+
+use crate::codec::{decode_result, encode_result};
+use crate::point::CampaignPoint;
+
+const HEADER: &str = "mncampaign-cache v1";
+
+/// The default cache directory, honoring `MN_CACHE_DIR`.
+pub fn default_cache_dir() -> PathBuf {
+    match std::env::var("MN_CACHE_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("results/cache"),
+    }
+}
+
+/// True when `MN_CACHE` asks for caching to be disabled entirely.
+pub fn cache_disabled_by_env() -> bool {
+    matches!(
+        std::env::var("MN_CACHE").as_deref(),
+        Ok("0") | Ok("off") | Ok("no") | Ok("false")
+    )
+}
+
+/// A directory of finished results, keyed by point fingerprint.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (lazily — nothing is created until the first store) a cache
+    /// rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCache {
+        DiskCache {
+            dir: dir.into(),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, point: &CampaignPoint) -> PathBuf {
+        self.dir.join(format!("{}.mnres", point.cache_key()))
+    }
+
+    /// Loads the finished result for `point`, or `None` on a miss (absent,
+    /// corrupt, version-skewed, or fingerprint-mismatched entry).
+    pub fn load(&self, point: &CampaignPoint) -> Option<RunResult> {
+        let text = fs::read_to_string(self.entry_path(point)).ok()?;
+        let mut lines = text.splitn(3, '\n');
+        if lines.next()? != HEADER {
+            return None;
+        }
+        let key_line = lines.next()?;
+        if key_line.strip_prefix("key=")? != point.fingerprint() {
+            return None;
+        }
+        decode_result(lines.next()?)
+    }
+
+    /// Stores a finished result atomically (write-to-temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers treat a failed store as
+    /// "uncached" rather than fatal.
+    pub fn store(&self, point: &CampaignPoint, result: &RunResult) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let body = format!(
+            "{HEADER}\nkey={}\n{}",
+            point.fingerprint(),
+            encode_result(result)
+        );
+        // Unique per process *and* per call, so parallel workers never
+        // share a temp file.
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            point.cache_key(),
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, self.entry_path(point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_core::SystemConfig;
+    use mn_topo::TopologyKind;
+    use mn_workloads::Workload;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mncampaign-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_point() -> CampaignPoint {
+        let mut config = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).unwrap();
+        config.requests_per_port = 200;
+        CampaignPoint::new(config, Workload::Nw)
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = scratch_dir("roundtrip");
+        let cache = DiskCache::new(&dir);
+        let point = tiny_point();
+        assert!(cache.load(&point).is_none());
+
+        let result = mn_core::simulate(&point.config, point.workload);
+        cache.store(&point, &result).unwrap();
+        let loaded = cache.load(&point).expect("hit");
+        assert_eq!(encode_result(&loaded), encode_result(&result));
+
+        // A different seed is a different point: still a miss.
+        let mut other = tiny_point();
+        other.config.seed ^= 0xDEAD;
+        assert!(cache.load(&other).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = scratch_dir("corrupt");
+        let cache = DiskCache::new(&dir);
+        let point = tiny_point();
+        let result = mn_core::simulate(&point.config, point.workload);
+        cache.store(&point, &result).unwrap();
+
+        let path = cache.entry_path(&point);
+        fs::write(&path, "mncampaign-cache v0\ngarbage").unwrap();
+        assert!(cache.load(&point).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

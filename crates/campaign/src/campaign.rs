@@ -1,0 +1,276 @@
+//! The deterministic thread-pool scheduler.
+//!
+//! A [`Campaign`] takes a list of [`CampaignPoint`]s and produces one
+//! [`PointOutcome`] per point, in input order, with three guarantees:
+//!
+//! 1. **Bit-identical to serial.** Points never share mutable state — each
+//!    carries its own seed inside its config, and `mn_core::simulate` is a
+//!    pure function of `(config, workload)` — so the worker count only
+//!    changes wall-clock time, never results. The determinism test in
+//!    `tests/determinism.rs` pins this.
+//! 2. **Duplicates are folded.** Points with equal fingerprints (e.g. the
+//!    `100%-C` baseline submitted once per workload-normalized figure) are
+//!    simulated once and replicated.
+//! 3. **Finished points are cached.** With a [`DiskCache`] attached,
+//!    points are served from disk when a prior run — this figure binary or
+//!    any other — already simulated them.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mn_core::{simulate, RunResult};
+
+use crate::cache::{cache_disabled_by_env, default_cache_dir, DiskCache};
+use crate::env::jobs_from_env;
+use crate::point::CampaignPoint;
+use crate::report::{CampaignSummary, Progress};
+
+/// The outcome of one grid point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The point that was executed.
+    pub point: CampaignPoint,
+    /// Its simulation result (fresh or loaded from cache).
+    pub result: RunResult,
+    /// True when the result came from the on-disk cache.
+    pub cached: bool,
+    /// Host wall-clock spent obtaining this result (near zero for cache
+    /// hits and folded duplicates).
+    pub host: Duration,
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One outcome per submitted point, in submission order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Aggregate counters for reporting and tests.
+    pub summary: CampaignSummary,
+}
+
+impl CampaignOutcome {
+    /// Just the results, in submission order.
+    pub fn into_results(self) -> Vec<RunResult> {
+        self.outcomes.into_iter().map(|o| o.result).collect()
+    }
+}
+
+/// The campaign engine configuration (builder-style).
+#[derive(Debug)]
+pub struct Campaign {
+    jobs: usize,
+    cache: Option<DiskCache>,
+    quiet: bool,
+}
+
+impl Campaign {
+    /// The environment-driven engine every figure binary uses: `MN_JOBS`
+    /// workers (default: available parallelism) and the default cache
+    /// directory (`results/cache/`, `MN_CACHE_DIR` to move it, `MN_CACHE=off`
+    /// to disable).
+    pub fn from_env() -> Campaign {
+        let campaign = Campaign::new(jobs_from_env());
+        if cache_disabled_by_env() {
+            campaign
+        } else {
+            campaign.cache_dir(default_cache_dir())
+        }
+    }
+
+    /// An engine with an explicit worker count and no cache.
+    pub fn new(jobs: usize) -> Campaign {
+        Campaign {
+            jobs: jobs.max(1),
+            cache: None,
+            quiet: false,
+        }
+    }
+
+    /// Attaches an on-disk result cache rooted at `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Campaign {
+        self.cache = Some(DiskCache::new(dir));
+        self
+    }
+
+    /// Detaches the cache (every point simulates fresh).
+    pub fn no_cache(mut self) -> Campaign {
+        self.cache = None;
+        self
+    }
+
+    /// Suppresses the stderr progress/summary reporting.
+    pub fn quiet(mut self) -> Campaign {
+        self.quiet = true;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every point and returns outcomes in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point's configuration is invalid (as `simulate` does) or
+    /// if a worker thread panics.
+    pub fn run(&self, points: Vec<CampaignPoint>) -> CampaignOutcome {
+        let total = points.len();
+        let mut progress = Progress::new(total, self.quiet);
+
+        // Fold duplicate fingerprints: `canonical[i]` is the index into
+        // `unique` whose result point `i` will receive.
+        let mut first_by_print: HashMap<String, usize> = HashMap::new();
+        let mut unique: Vec<&CampaignPoint> = Vec::new();
+        let mut canonical = Vec::with_capacity(total);
+        for point in &points {
+            let next = unique.len();
+            let slot = *first_by_print.entry(point.fingerprint()).or_insert(next);
+            if slot == next {
+                unique.push(point);
+            }
+            canonical.push(slot);
+        }
+
+        let jobs = self.jobs.min(unique.len()).max(1);
+        let mut slots: Vec<Option<(RunResult, bool, Duration)>> = vec![None; unique.len()];
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                let unique = &unique;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = unique.get(i) else { break };
+                    if tx.send((i, self.execute(point))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((i, executed)) = rx.recv() {
+                progress.tick(executed.1);
+                slots[i] = Some(executed);
+            }
+        });
+
+        let cache_hits = slots.iter().flatten().filter(|(_, hit, _)| *hit).count();
+        let fresh_requests = slots
+            .iter()
+            .flatten()
+            .filter(|(_, hit, _)| !hit)
+            .map(|(r, ..)| r.reads + r.writes)
+            .sum();
+        let summary = CampaignSummary {
+            total,
+            unique: unique.len(),
+            cache_hits,
+            fresh: unique.len() - cache_hits,
+            jobs,
+            host_wall: progress.started().elapsed(),
+            fresh_requests,
+        };
+        progress.finish(&summary);
+
+        let executed: Vec<(RunResult, bool, Duration)> = slots
+            .into_iter()
+            .map(|s| s.expect("all points ran"))
+            .collect();
+        let outcomes = points
+            .into_iter()
+            .zip(canonical)
+            .map(|(point, slot)| {
+                let (result, cached, host) = executed[slot].clone();
+                PointOutcome {
+                    point,
+                    result,
+                    cached,
+                    host,
+                }
+            })
+            .collect();
+        CampaignOutcome { outcomes, summary }
+    }
+
+    fn execute(&self, point: &CampaignPoint) -> (RunResult, bool, Duration) {
+        let start = Instant::now();
+        if let Some(cache) = &self.cache {
+            if let Some(result) = cache.load(point) {
+                return (result, true, start.elapsed());
+            }
+        }
+        let result = simulate(&point.config, point.workload);
+        if let Some(cache) = &self.cache {
+            if let Err(err) = cache.store(point, &result) {
+                eprintln!(
+                    "warning: could not cache result in {}: {err}",
+                    cache.dir().display()
+                );
+            }
+        }
+        (result, false, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_core::SystemConfig;
+    use mn_topo::TopologyKind;
+    use mn_workloads::Workload;
+
+    fn tiny(topology: TopologyKind, seed: u64) -> CampaignPoint {
+        let mut config = SystemConfig::paper_baseline(topology, 1.0).unwrap();
+        config.requests_per_port = 150;
+        config.seed = seed;
+        CampaignPoint::new(config, Workload::Nw)
+    }
+
+    #[test]
+    fn preserves_submission_order() {
+        let points = vec![
+            tiny(TopologyKind::Chain, 1),
+            tiny(TopologyKind::Tree, 2),
+            tiny(TopologyKind::Ring, 3),
+        ];
+        let outcome = Campaign::new(2).quiet().run(points);
+        assert_eq!(outcome.summary.total, 3);
+        assert_eq!(outcome.summary.unique, 3);
+        assert_eq!(outcome.summary.fresh, 3);
+        let labels: Vec<&str> = outcome
+            .outcomes
+            .iter()
+            .map(|o| o.result.label.as_str())
+            .collect();
+        assert_eq!(labels, ["100%-C", "100%-T", "100%-R"]);
+    }
+
+    #[test]
+    fn duplicate_points_fold_into_one_simulation() {
+        let points = vec![
+            tiny(TopologyKind::Chain, 7),
+            tiny(TopologyKind::Chain, 7),
+            tiny(TopologyKind::Chain, 7),
+        ];
+        let outcome = Campaign::new(3).quiet().run(points);
+        assert_eq!(outcome.summary.total, 3);
+        assert_eq!(outcome.summary.unique, 1);
+        let walls: Vec<_> = outcome.outcomes.iter().map(|o| o.result.wall).collect();
+        assert_eq!(walls[0], walls[1]);
+        assert_eq!(walls[1], walls[2]);
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let outcome = Campaign::new(4).quiet().run(Vec::new());
+        assert!(outcome.outcomes.is_empty());
+        assert_eq!(outcome.summary.total, 0);
+        assert_eq!(outcome.summary.sim_throughput_per_sec(), 0.0);
+    }
+}

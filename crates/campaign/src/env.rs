@@ -1,0 +1,80 @@
+//! Environment knobs, parsed loudly.
+//!
+//! Every harness knob (`MN_JOBS` here; `MN_REQUESTS` / `MN_SEED` in
+//! `mn-bench`) goes through [`env_parse`], which reports malformed values
+//! on stderr instead of silently falling back — a typo'd
+//! `MN_REQUESTS=60000q` used to quietly run a 6 000-request experiment.
+
+use std::collections::HashSet;
+use std::fmt::Display;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// Variables already warned about, so grid builders that re-read a knob
+/// per config don't repeat the same warning.
+static WARNED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+
+/// Reads and parses `name` from the environment. Returns `None` when the
+/// variable is unset; when it is set but malformed, prints a warning to
+/// stderr naming the variable and the rejected value (once per variable),
+/// then returns `None` so the caller's default applies.
+pub fn env_parse<T>(name: &str) -> Option<T>
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    let value = std::env::var(name).ok()?;
+    match value.parse() {
+        Ok(parsed) => Some(parsed),
+        Err(err) => {
+            let mut warned = WARNED.lock().unwrap();
+            if warned
+                .get_or_insert_with(HashSet::new)
+                .insert(name.to_string())
+            {
+                eprintln!("warning: ignoring malformed {name}={value:?}: {err}");
+            }
+            None
+        }
+    }
+}
+
+/// Worker count for campaign execution: `MN_JOBS`, defaulting to the
+/// machine's available parallelism. A value of 0 is treated as malformed.
+pub fn jobs_from_env() -> usize {
+    match env_parse::<usize>("MN_JOBS") {
+        Some(0) => {
+            eprintln!("warning: ignoring MN_JOBS=0 (need at least one worker)");
+            default_jobs()
+        }
+        Some(jobs) => jobs,
+        None => default_jobs(),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Environment mutation is process-global, so these tests go through a
+    // single #[test] to stay race-free under the parallel test harness --
+    // and they use a variable name nothing else reads.
+    #[test]
+    fn parses_warns_and_defaults() {
+        let name = "MN_CAMPAIGN_ENV_TEST_ONLY";
+        assert_eq!(env_parse::<u64>(name), None);
+
+        std::env::set_var(name, "1234");
+        assert_eq!(env_parse::<u64>(name), Some(1234));
+
+        std::env::set_var(name, "not-a-number");
+        assert_eq!(env_parse::<u64>(name), None); // warned on stderr
+
+        std::env::remove_var(name);
+        assert!(jobs_from_env() >= 1);
+    }
+}

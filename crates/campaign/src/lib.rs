@@ -1,0 +1,62 @@
+//! # mn-campaign — the experiment-campaign engine
+//!
+//! Every results figure of the paper sweeps a `{topology} × {DRAM:NVM mix}
+//! × {arbitration} × {workload}` grid through `mn_core::simulate`. This
+//! crate owns that execution end-to-end, so the 14 `mn-bench` binaries and
+//! the CLI stay declarative descriptions of *what* to run:
+//!
+//! - **Scheduling** — [`Campaign`] fans independent [`CampaignPoint`]s
+//!   across `MN_JOBS` worker threads (plain `std::thread` + channels; the
+//!   build is offline and dependency-free). Each point carries its own
+//!   seed, so results are bit-identical to a serial run at any worker
+//!   count, and duplicate points (shared baselines) fold into one
+//!   simulation.
+//! - **Caching** — a content-addressed on-disk cache ([`DiskCache`],
+//!   default `results/cache/`) keyed by a stable hash of
+//!   `(config, workload, requests, seed, sim-version)`. Re-running a
+//!   figure, or sharing the `100%-C` chain baseline across figures, skips
+//!   finished points.
+//! - **Sinks** — alongside the binaries' text tables, per-point JSON-lines
+//!   and CSV records ([`write_point_records`]) with metadata: cache
+//!   hit/miss, host wall-clock, per-class latency stats.
+//! - **Reporting** — live progress on a terminal and a closing
+//!   [`CampaignSummary`] line (points done/total, cache hits, aggregate
+//!   sim-throughput) on stderr.
+//!
+//! ## Example
+//!
+//! ```
+//! use mn_campaign::{Campaign, CampaignPoint};
+//! use mn_core::SystemConfig;
+//! use mn_topo::TopologyKind;
+//! use mn_workloads::Workload;
+//!
+//! let mut config = SystemConfig::paper_baseline(TopologyKind::Tree, 1.0).unwrap();
+//! config.requests_per_port = 500;
+//! let points = vec![
+//!     CampaignPoint::new(config.clone(), Workload::Dct),
+//!     CampaignPoint::new(config, Workload::Nw),
+//! ];
+//! let outcome = Campaign::new(2).quiet().run(points);
+//! assert_eq!(outcome.outcomes.len(), 2);
+//! assert_eq!(outcome.summary.fresh, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod campaign;
+pub mod codec;
+mod env;
+mod point;
+mod report;
+pub mod sink;
+
+pub use cache::{cache_disabled_by_env, default_cache_dir, DiskCache};
+pub use campaign::{Campaign, CampaignOutcome, PointOutcome};
+pub use env::{env_parse, jobs_from_env};
+pub use point::{CampaignPoint, SIM_VERSION};
+pub use report::CampaignSummary;
+pub use sink::{write_point_records, write_records, OutputFormat, Record, Value};

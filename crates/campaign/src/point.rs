@@ -1,0 +1,158 @@
+//! Grid points and their stable content-addressed identity.
+//!
+//! A [`CampaignPoint`] is one independent unit of work: a fully specified
+//! [`SystemConfig`] plus the [`Workload`] to drive through it. Its
+//! [fingerprint](CampaignPoint::fingerprint) canonically serializes every
+//! field that can influence the simulation outcome (including the RNG seed
+//! and the simulator version), so two points hash equal exactly when their
+//! results must be bit-identical. The cache and the deduplicating
+//! scheduler both key on that fingerprint.
+
+use mn_core::SystemConfig;
+use mn_noc::{LinkTiming, NocConfig};
+use mn_workloads::Workload;
+
+/// Simulator behavior version. Bump whenever any crate changes what
+/// `mn_core::simulate` computes for a given configuration, so stale cache
+/// entries from older binaries can never be served.
+pub const SIM_VERSION: u32 = 1;
+
+/// One independent experiment: a configuration and a workload.
+///
+/// The point carries its own seed inside `config.seed`; the scheduler
+/// never shares RNG state between points, which is what makes parallel
+/// execution bit-identical to serial execution.
+#[derive(Debug, Clone)]
+pub struct CampaignPoint {
+    /// The complete system configuration to simulate.
+    pub config: SystemConfig,
+    /// The workload proxy to drive through it.
+    pub workload: Workload,
+}
+
+impl CampaignPoint {
+    /// Creates a point.
+    pub fn new(config: SystemConfig, workload: Workload) -> CampaignPoint {
+        CampaignPoint { config, workload }
+    }
+
+    /// The canonical description of everything that determines this
+    /// point's result. Floats are rendered via their bit patterns so the
+    /// encoding is exact, and the [`SystemConfig`] is destructured
+    /// exhaustively so adding a field without extending the fingerprint
+    /// fails to compile.
+    pub fn fingerprint(&self) -> String {
+        let SystemConfig {
+            ports,
+            total_capacity_gb,
+            dram_fraction,
+            nvm_placement,
+            topology,
+            noc,
+            write_burst_routing,
+            banks_per_quadrant,
+            controller_queue,
+            interleave_bytes,
+            window,
+            host_write_buffer,
+            requests_per_port,
+            simulated_ports,
+            reference_ports,
+            seed,
+        } = &self.config;
+        let NocConfig {
+            control_bytes,
+            data_bytes,
+            external_link,
+            interposer_link,
+            buffer_packets,
+            ejection_packets,
+            arbiter,
+            duplex,
+            transport_pj_per_bit_hop,
+        } = noc;
+        let link = |l: &LinkTiming| format!("{}+{}ps", l.ps_per_byte, l.fixed_latency.as_ps());
+        format!(
+            "mncube-sim-v{SIM_VERSION};pkg={pkg};wl={wl};ports={ports};cap={total_capacity_gb};\
+             dram={dram:016x};nvmp={nvm_placement:?};topo={topology:?};wbr={write_burst_routing};\
+             bpq={banks_per_quadrant};cq={controller_queue};il={interleave_bytes};win={window};\
+             hwb={host_write_buffer};req={requests_per_port};simp={simulated_ports};\
+             refp={reference_ports};seed={seed:016x};noc=ctl{control_bytes}/data{data_bytes}/\
+             ext{ext}/int{int}/buf{buffer_packets}/ej{ejection_packets}/arb{arbiter:?}/\
+             dup{duplex:?}/tpj{tpj:016x}",
+            pkg = env!("CARGO_PKG_VERSION"),
+            wl = self.workload.label(),
+            dram = dram_fraction.to_bits(),
+            ext = link(external_link),
+            int = link(interposer_link),
+            tpj = transport_pj_per_bit_hop.to_bits(),
+        )
+    }
+
+    /// The content-address of this point: 16 hex digits of FNV-1a over the
+    /// fingerprint. Used as the cache file name; the full fingerprint is
+    /// stored alongside the result and re-checked on load, so a hash
+    /// collision degrades to a cache miss, never to a wrong result.
+    pub fn cache_key(&self) -> String {
+        format!("{:016x}", fnv1a64(self.fingerprint().as_bytes()))
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_topo::TopologyKind;
+
+    fn point() -> CampaignPoint {
+        CampaignPoint::new(
+            SystemConfig::paper_baseline(TopologyKind::Tree, 0.5).unwrap(),
+            Workload::Dct,
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = point();
+        let b = point();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.cache_key().len(), 16);
+
+        let mut c = point();
+        c.config.seed ^= 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = point();
+        d.config.requests_per_port += 1;
+        assert_ne!(a.cache_key(), d.cache_key());
+        let mut e = point();
+        e.workload = Workload::Nw;
+        assert_ne!(a.cache_key(), e.cache_key());
+    }
+
+    #[test]
+    fn fingerprint_covers_noc_knobs() {
+        let a = point();
+        let mut b = point();
+        b.config.noc.arbiter = mn_noc::ArbiterKind::Distance;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = point();
+        c.config.noc.external_link.ps_per_byte += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a 64 test vector.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,274 @@
+//! Pluggable result sinks: JSON-lines and CSV emission of per-point
+//! records, plus the `--format` flag every figure binary accepts.
+//!
+//! The text tables the binaries have always printed remain their primary,
+//! human-facing output; these sinks append machine-readable per-point
+//! records (with metadata: cache hit/miss, host wall-clock) for scripting
+//! and plotting. Records are flat `(key, value)` rows so the same two
+//! emitters also serve table-shaped binaries (`table1`, `table2`) that
+//! have no simulation points.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use crate::campaign::PointOutcome;
+
+/// A record field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string field (quoted in JSON; CSV-escaped when needed).
+    Str(String),
+    /// An integer field.
+    Int(u64),
+    /// A float field (emitted with enough digits to round-trip).
+    Float(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One flat record: ordered `(column, value)` pairs.
+pub type Record = Vec<(&'static str, Value)>;
+
+/// The output format a figure binary was asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Text tables only (the default).
+    #[default]
+    Text,
+    /// Text tables followed by one JSON object per point.
+    Json,
+    /// Text tables followed by a CSV block.
+    Csv,
+}
+
+impl OutputFormat {
+    /// Parses a format name.
+    pub fn parse(name: &str) -> Option<OutputFormat> {
+        match name {
+            "text" => Some(OutputFormat::Text),
+            "json" => Some(OutputFormat::Json),
+            "csv" => Some(OutputFormat::Csv),
+            _ => None,
+        }
+    }
+
+    /// Reads `--format <text|json|csv>` (or `--format=<...>`) from the
+    /// process arguments. Unknown formats or a missing value abort with a
+    /// usage message — a figure run that silently ignored the flag would
+    /// produce a table where a script expected records.
+    pub fn from_args() -> OutputFormat {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let name = if let Some(inline) = arg.strip_prefix("--format=") {
+                inline.to_string()
+            } else if arg == "--format" || arg == "-f" {
+                match args.next() {
+                    Some(name) => name,
+                    None => die_usage("missing value after --format"),
+                }
+            } else {
+                continue;
+            };
+            match OutputFormat::parse(&name) {
+                Some(format) => return format,
+                None => die_usage(&format!("unknown format {name:?}")),
+            }
+        }
+        OutputFormat::Text
+    }
+}
+
+fn die_usage(problem: &str) -> ! {
+    eprintln!("error: {problem}; expected --format <text|json|csv>");
+    std::process::exit(2);
+}
+
+/// The flat record for one campaign point, shared by both emitters.
+pub fn point_record(outcome: &PointOutcome) -> Record {
+    let r = &outcome.result;
+    let b = &r.breakdown;
+    let quantile_ns = |q| r.read_latency_quantile(q).as_ns_f64();
+    vec![
+        ("label", Value::Str(r.label.clone())),
+        ("workload", Value::Str(r.workload.clone())),
+        ("wall_ns", Value::Float(r.wall.as_ns_f64())),
+        ("throughput_per_us", Value::Float(r.throughput_per_us())),
+        ("reads", Value::Int(r.reads)),
+        ("writes", Value::Int(r.writes)),
+        ("to_mem_ns", Value::Float(b.to_memory.mean_ns())),
+        ("in_mem_ns", Value::Float(b.in_memory.mean_ns())),
+        ("from_mem_ns", Value::Float(b.from_memory.mean_ns())),
+        ("read_p50_ns", Value::Float(quantile_ns(0.50))),
+        ("read_p95_ns", Value::Float(quantile_ns(0.95))),
+        ("read_p99_ns", Value::Float(quantile_ns(0.99))),
+        ("row_hit_rate", Value::Float(r.row_hit_rate)),
+        ("avg_hops", Value::Float(r.avg_hops)),
+        ("energy_network_uj", Value::Float(r.energy.network.as_uj())),
+        ("energy_read_uj", Value::Float(r.energy.read.as_uj())),
+        ("energy_write_uj", Value::Float(r.energy.write.as_uj())),
+        (
+            "requests_per_port",
+            Value::Int(outcome.point.config.requests_per_port),
+        ),
+        ("seed", Value::Int(outcome.point.config.seed)),
+        ("cached", Value::Bool(outcome.cached)),
+        ("host_ms", Value::Float(outcome.host.as_secs_f64() * 1e3)),
+    ]
+}
+
+/// Writes `records` to `w` in `format`; [`OutputFormat::Text`] writes
+/// nothing (the caller's tables are the text output).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_records<W: Write>(
+    w: &mut W,
+    format: OutputFormat,
+    records: &[Record],
+) -> io::Result<()> {
+    match format {
+        OutputFormat::Text => Ok(()),
+        OutputFormat::Json => {
+            for record in records {
+                let fields: Vec<String> = record
+                    .iter()
+                    .map(|(key, value)| match value {
+                        Value::Str(s) => format!("{}:{}", json_string(key), json_string(s)),
+                        Value::Float(x) if !x.is_finite() => {
+                            format!("{}:null", json_string(key))
+                        }
+                        other => format!("{}:{}", json_string(key), other),
+                    })
+                    .collect();
+                writeln!(w, "{{{}}}", fields.join(","))?;
+            }
+            Ok(())
+        }
+        OutputFormat::Csv => {
+            let Some(first) = records.first() else {
+                return Ok(());
+            };
+            let header: Vec<&str> = first.iter().map(|(key, _)| *key).collect();
+            writeln!(w, "{}", header.join(","))?;
+            for record in records {
+                let row: Vec<String> = record
+                    .iter()
+                    .map(|(_, value)| match value {
+                        Value::Str(s) => csv_field(s),
+                        other => other.to_string(),
+                    })
+                    .collect();
+                writeln!(w, "{}", row.join(","))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Convenience: per-point records for a whole campaign, to stdout.
+///
+/// # Errors
+///
+/// Propagates I/O errors from stdout.
+pub fn write_point_records(format: OutputFormat, outcomes: &[PointOutcome]) -> io::Result<()> {
+    let records: Vec<Record> = outcomes.iter().map(point_record).collect();
+    write_records(&mut std::io::stdout().lock(), format, &records)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            vec![
+                ("label", Value::Str("50%-T (NVM-L)".into())),
+                ("wall_ns", Value::Float(1234.5)),
+                ("reads", Value::Int(10)),
+                ("cached", Value::Bool(true)),
+            ],
+            vec![
+                ("label", Value::Str("a,b\"c".into())),
+                ("wall_ns", Value::Float(8.0)),
+                ("reads", Value::Int(2)),
+                ("cached", Value::Bool(false)),
+            ],
+        ]
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let mut out = Vec::new();
+        write_records(&mut out, OutputFormat::Json, &sample_records()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"label\":\"50%-T (NVM-L)\""));
+        assert!(lines[0].contains("\"cached\":true"));
+        assert!(lines[1].contains("\"label\":\"a,b\\\"c\""));
+    }
+
+    #[test]
+    fn csv_shape_and_escaping() {
+        let mut out = Vec::new();
+        write_records(&mut out, OutputFormat::Csv, &sample_records()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "label,wall_ns,reads,cached");
+        assert_eq!(lines[1], "50%-T (NVM-L),1234.5,10,true");
+        assert_eq!(lines[2], "\"a,b\"\"c\",8,2,false");
+    }
+
+    #[test]
+    fn text_format_writes_nothing() {
+        let mut out = Vec::new();
+        write_records(&mut out, OutputFormat::Text, &sample_records()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(OutputFormat::parse("json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::parse("csv"), Some(OutputFormat::Csv));
+        assert_eq!(OutputFormat::parse("text"), Some(OutputFormat::Text));
+        assert_eq!(OutputFormat::parse("yaml"), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! The campaign engine's two load-bearing guarantees, end to end:
+//!
+//! 1. results are bit-identical at any worker count (the scheduler only
+//!    changes wall-clock time, never outcomes), and
+//! 2. a repeated run of the same grid is served entirely from the on-disk
+//!    cache, losslessly.
+
+use std::path::PathBuf;
+
+use mn_campaign::{codec, Campaign, CampaignPoint};
+use mn_core::SystemConfig;
+use mn_noc::ArbiterKind;
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+/// A small but heterogeneous grid: three topologies x two workloads, with
+/// a duplicated shared baseline, sized to finish quickly.
+fn grid() -> Vec<CampaignPoint> {
+    let mut points = Vec::new();
+    for topology in [
+        TopologyKind::Chain,
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+    ] {
+        for workload in [Workload::Nw, Workload::Backprop] {
+            let mut config = SystemConfig::paper_baseline(topology, 1.0).unwrap();
+            config.requests_per_port = 200;
+            config.noc.arbiter = ArbiterKind::Distance;
+            points.push(CampaignPoint::new(config, workload));
+        }
+    }
+    // The shared baseline, submitted twice like normalized figures do.
+    let base = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0)
+        .map(|mut c| {
+            c.requests_per_port = 200;
+            c
+        })
+        .unwrap();
+    points.push(CampaignPoint::new(base.clone(), Workload::Nw));
+    points.push(CampaignPoint::new(base, Workload::Nw));
+    points
+}
+
+/// `RunResult` has no `PartialEq`; the lossless cache codec is an exact,
+/// field-complete rendering, so encoded equality is result equality.
+fn encoded(campaign: &Campaign) -> Vec<String> {
+    campaign
+        .run(grid())
+        .outcomes
+        .iter()
+        .map(|o| codec::encode_result(&o.result))
+        .collect()
+}
+
+#[test]
+fn parallel_results_are_bit_identical_to_serial() {
+    let serial = encoded(&Campaign::new(1).quiet());
+    let parallel = encoded(&Campaign::new(4).quiet());
+    assert_eq!(serial.len(), grid().len());
+    assert_eq!(serial, parallel);
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mn-campaign-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn second_run_is_served_entirely_from_cache() {
+    let dir = scratch_dir("rerun");
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::new(4).quiet().cache_dir(&dir);
+
+    let first = campaign.run(grid());
+    assert_eq!(first.summary.cache_hits, 0);
+    assert_eq!(first.summary.fresh, first.summary.unique);
+
+    let second = campaign.run(grid());
+    assert_eq!(second.summary.fresh, 0, "no fresh simulations on rerun");
+    assert_eq!(second.summary.cache_hits, second.summary.unique);
+
+    // ... and the cached results are lossless.
+    let fresh: Vec<String> = first
+        .outcomes
+        .iter()
+        .map(|o| codec::encode_result(&o.result))
+        .collect();
+    let cached: Vec<String> = second
+        .outcomes
+        .iter()
+        .map(|o| codec::encode_result(&o.result))
+        .collect();
+    assert_eq!(fresh, cached);
+    for outcome in &second.outcomes {
+        assert!(outcome.cached);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_is_shared_across_overlapping_grids() {
+    let dir = scratch_dir("overlap");
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::new(2).quiet().cache_dir(&dir);
+
+    // Warm the cache with only the chain points.
+    let chain_only: Vec<CampaignPoint> = grid()
+        .into_iter()
+        .filter(|p| p.config.label().ends_with("-C"))
+        .collect();
+    let warm = campaign.run(chain_only);
+    assert!(warm.summary.fresh > 0);
+
+    // The full grid hits on every chain point and simulates the rest.
+    let full = campaign.run(grid());
+    assert_eq!(full.summary.cache_hits, warm.summary.unique);
+    assert_eq!(
+        full.summary.fresh,
+        full.summary.unique - warm.summary.unique
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -215,9 +215,7 @@ impl Command {
                     match flag {
                         "--topology" => parsed.topology = parse_topology(cursor.value(flag)?)?,
                         "--workload" => parsed.workload = parse_workload(cursor.value(flag)?)?,
-                        "--dram" => {
-                            parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32
-                        }
+                        "--dram" => parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32,
                         "--placement" => parsed.placement = parse_placement(cursor.value(flag)?)?,
                         "--arbiter" => parsed.arbiter = parse_arbiter(cursor.value(flag)?)?,
                         "--requests" => parsed.requests = parse_u64(flag, cursor.value(flag)?)?,
@@ -259,9 +257,7 @@ impl Command {
                             parsed.cubes = parse_u64(flag, cursor.value(flag)?)? as u32;
                             explicit_cubes = true;
                         }
-                        "--dram" => {
-                            parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32
-                        }
+                        "--dram" => parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32,
                         "--placement" => parsed.placement = parse_placement(cursor.value(flag)?)?,
                         other => return Err(err(format!("unknown flag '{other}' for topo"))),
                     }

@@ -1,9 +1,15 @@
 //! Execution of parsed commands.
+//!
+//! Every simulation a command needs goes through the `mn-campaign` engine,
+//! so CLI runs parallelize across `MN_JOBS` workers and share the on-disk
+//! result cache with the figure binaries.
 
 use std::fmt::Write as _;
 
-use mn_core::{simulate, speedup_pct, RunResult, SystemConfig};
+use mn_campaign::{Campaign, CampaignPoint};
+use mn_core::{speedup_pct, RunResult, SystemConfig};
 use mn_topo::{render_ascii, Placement, Topology, TopologyKind, TopologyMetrics};
+use mn_workloads::Workload;
 
 use crate::args::{ArgError, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs, USAGE};
 
@@ -18,6 +24,14 @@ fn build_config(
         .with_nvm_placement(placement);
     config.requests_per_port = requests;
     Ok(config)
+}
+
+fn run_grid(campaign: &Campaign, configs: Vec<SystemConfig>, workload: Workload) -> Vec<RunResult> {
+    let points = configs
+        .into_iter()
+        .map(|config| CampaignPoint::new(config, workload))
+        .collect();
+    campaign.run(points).into_results()
 }
 
 fn report(result: &RunResult) -> String {
@@ -55,11 +69,7 @@ fn report(result: &RunResult) -> String {
         result.read_latency_quantile(0.99),
     );
     let _ = writeln!(out, "avg hops        {:.2}", result.avg_hops);
-    let _ = writeln!(
-        out,
-        "row-buffer hits {:.0}%",
-        result.row_hit_rate * 100.0
-    );
+    let _ = writeln!(out, "row-buffer hits {:.0}%", result.row_hit_rate * 100.0);
     let e = &result.energy;
     let _ = writeln!(
         out,
@@ -72,18 +82,26 @@ fn report(result: &RunResult) -> String {
     out
 }
 
-fn run(args: &RunArgs) -> Result<String, ArgError> {
+fn run(campaign: &Campaign, args: &RunArgs) -> Result<String, ArgError> {
     let mut config = build_config(args.topology, args.dram_pct, args.placement, args.requests)?;
     config.noc.arbiter = args.arbiter;
     config.write_burst_routing = args.write_burst;
     if let Some(seed) = args.seed {
         config.seed = seed;
     }
-    let result = simulate(&config, args.workload);
-    Ok(report(&result))
+    let results = run_grid(campaign, vec![config], args.workload);
+    Ok(report(&results[0]))
 }
 
-fn compare(args: &CompareArgs) -> Result<String, ArgError> {
+fn compare(campaign: &Campaign, args: &CompareArgs) -> Result<String, ArgError> {
+    let mut configs = Vec::new();
+    for topology in TopologyKind::ALL_EXTENDED {
+        let mut config = build_config(topology, 100, mn_topo::NvmPlacement::Last, args.requests)?;
+        config.noc.arbiter = args.arbiter;
+        configs.push(config);
+    }
+    let results = run_grid(campaign, configs, args.workload);
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -96,12 +114,8 @@ fn compare(args: &CompareArgs) -> Result<String, ArgError> {
         "{:<10} {:>12} {:>10} {:>12}",
         "topology", "wall", "vs chain", "energy (uJ)"
     );
-    let mut chain_wall = None;
-    for topology in TopologyKind::ALL_EXTENDED {
-        let mut config = build_config(topology, 100, mn_topo::NvmPlacement::Last, args.requests)?;
-        config.noc.arbiter = args.arbiter;
-        let result = simulate(&config, args.workload);
-        let base = *chain_wall.get_or_insert(result.wall);
+    let base = results[0].wall; // ALL_EXTENDED starts with the chain
+    for (topology, result) in TopologyKind::ALL_EXTENDED.into_iter().zip(&results) {
         let _ = writeln!(
             out,
             "{:<10} {:>12} {:>+9.1}% {:>12.1}",
@@ -137,7 +151,26 @@ fn topo(args: &TopoArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
-fn sweep(args: &SweepArgs) -> Result<String, ArgError> {
+fn sweep(campaign: &Campaign, args: &SweepArgs) -> Result<String, ArgError> {
+    let mut configs = Vec::new();
+    let mut cube_counts = Vec::new();
+    for dram_pct in [100u32, 75, 50, 25, 0] {
+        let config = build_config(
+            args.topology,
+            dram_pct,
+            mn_topo::NvmPlacement::Last,
+            args.requests,
+        )?;
+        cube_counts.push(
+            config
+                .placement()
+                .map_err(|e| ArgError(e.to_string()))?
+                .cube_count(),
+        );
+        configs.push(config);
+    }
+    let results = run_grid(campaign, configs, args.workload);
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -150,20 +183,8 @@ fn sweep(args: &SweepArgs) -> Result<String, ArgError> {
         "{:<16} {:>7} {:>12} {:>10} {:>12}",
         "mix", "cubes", "wall", "vs 100%", "energy (uJ)"
     );
-    let mut base = None;
-    for dram_pct in [100u32, 75, 50, 25, 0] {
-        let config = build_config(
-            args.topology,
-            dram_pct,
-            mn_topo::NvmPlacement::Last,
-            args.requests,
-        )?;
-        let cubes = config
-            .placement()
-            .map_err(|e| ArgError(e.to_string()))?
-            .cube_count();
-        let result = simulate(&config, args.workload);
-        let base_wall = *base.get_or_insert(result.wall);
+    let base_wall = results[0].wall;
+    for (result, cubes) in results.iter().zip(cube_counts) {
         let _ = writeln!(
             out,
             "{:<16} {:>7} {:>12} {:>+9.1}% {:>12.1}",
@@ -177,20 +198,31 @@ fn sweep(args: &SweepArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
-/// Executes a parsed command, returning the text to print.
+/// Executes a parsed command against an explicit campaign engine,
+/// returning the text to print.
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] when the configuration cannot be built (e.g. an
 /// unrealizable DRAM percentage).
-pub fn execute(command: &Command) -> Result<String, ArgError> {
+pub fn execute_with(campaign: &Campaign, command: &Command) -> Result<String, ArgError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Run(args) => run(args),
-        Command::Compare(args) => compare(args),
+        Command::Run(args) => run(campaign, args),
+        Command::Compare(args) => compare(campaign, args),
         Command::Topo(args) => topo(args),
-        Command::Sweep(args) => sweep(args),
+        Command::Sweep(args) => sweep(campaign, args),
     }
+}
+
+/// Executes a parsed command with the environment-configured engine
+/// (`MN_JOBS` workers, shared `results/cache/`).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] when the configuration cannot be built.
+pub fn execute(command: &Command) -> Result<String, ArgError> {
+    execute_with(&Campaign::from_env(), command)
 }
 
 #[cfg(test)]
@@ -201,25 +233,32 @@ mod tests {
     use mn_topo::NvmPlacement;
     use mn_workloads::Workload;
 
+    fn bare() -> Campaign {
+        Campaign::new(2).quiet()
+    }
+
     #[test]
     fn help_prints_usage() {
-        let text = execute(&Command::Help).unwrap();
+        let text = execute_with(&bare(), &Command::Help).unwrap();
         assert!(text.contains("mncube run"));
         assert!(text.contains("skiplist"));
     }
 
     #[test]
     fn run_produces_report() {
-        let text = execute(&Command::Run(RunArgs {
-            topology: TopologyKind::Chain,
-            workload: Workload::Nw,
-            dram_pct: 100,
-            placement: NvmPlacement::Last,
-            arbiter: ArbiterKind::RoundRobin,
-            requests: 300,
-            write_burst: false,
-            seed: Some(1),
-        }))
+        let text = execute_with(
+            &bare(),
+            &Command::Run(RunArgs {
+                topology: TopologyKind::Chain,
+                workload: Workload::Nw,
+                dram_pct: 100,
+                placement: NvmPlacement::Last,
+                arbiter: ArbiterKind::RoundRobin,
+                requests: 300,
+                write_burst: false,
+                seed: Some(1),
+            }),
+        )
         .unwrap();
         assert!(text.contains("configuration   100%-C"));
         assert!(text.contains("workload        NW"));
@@ -228,27 +267,48 @@ mod tests {
 
     #[test]
     fn bad_mix_is_an_error_not_a_panic() {
-        let result = execute(&Command::Run(RunArgs {
-            topology: TopologyKind::Chain,
-            workload: Workload::Nw,
-            dram_pct: 90, // 90% does not divide into whole cubes
-            placement: NvmPlacement::Last,
-            arbiter: ArbiterKind::RoundRobin,
-            requests: 100,
-            write_burst: false,
-            seed: None,
-        }));
+        let result = execute_with(
+            &bare(),
+            &Command::Run(RunArgs {
+                topology: TopologyKind::Chain,
+                workload: Workload::Nw,
+                dram_pct: 90, // 90% does not divide into whole cubes
+                placement: NvmPlacement::Last,
+                arbiter: ArbiterKind::RoundRobin,
+                requests: 100,
+                write_burst: false,
+                seed: None,
+            }),
+        );
         assert!(result.is_err());
     }
 
     #[test]
+    fn compare_runs_as_one_campaign() {
+        let text = execute_with(
+            &bare(),
+            &Command::Compare(crate::args::CompareArgs {
+                workload: Workload::Nw,
+                arbiter: ArbiterKind::RoundRobin,
+                requests: 150,
+            }),
+        )
+        .unwrap();
+        assert!(text.contains("chain"));
+        assert!(text.contains("vs chain"));
+    }
+
+    #[test]
     fn topo_renders() {
-        let text = execute(&Command::Topo(crate::args::TopoArgs {
-            topology: TopologyKind::SkipList,
-            cubes: 16,
-            dram_pct: 100,
-            placement: NvmPlacement::Last,
-        }))
+        let text = execute_with(
+            &bare(),
+            &Command::Topo(crate::args::TopoArgs {
+                topology: TopologyKind::SkipList,
+                cubes: 16,
+                dram_pct: 100,
+                placement: NvmPlacement::Last,
+            }),
+        )
         .unwrap();
         assert!(text.contains("HOST"));
         assert!(text.contains("max write 16"));

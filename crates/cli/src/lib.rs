@@ -21,4 +21,4 @@ mod args;
 mod commands;
 
 pub use args::{ArgError, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs};
-pub use commands::execute;
+pub use commands::{execute, execute_with};

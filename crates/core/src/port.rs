@@ -540,7 +540,8 @@ impl PortSim {
             return;
         }
         self.reads += 1;
-        self.read_latency.record(at.saturating_since(rec.offered_at));
+        self.read_latency
+            .record(at.saturating_since(rec.offered_at));
         // The slot recycles when its last read returns; any writes of the
         // burst still queued follow on their own.
         if let Some(remaining) = self.bursts.get_mut(&rec.burst) {

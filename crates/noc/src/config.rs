@@ -179,8 +179,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot be smaller")]
     fn validate_rejects_tiny_data() {
-        let mut c = NocConfig::default();
-        c.data_bytes = 8;
+        let c = NocConfig {
+            data_bytes: 8,
+            ..NocConfig::default()
+        };
         c.validate();
     }
 }

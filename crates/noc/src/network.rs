@@ -582,8 +582,10 @@ mod tests {
     #[test]
     fn injection_backpressure() {
         let topo = chain(2);
-        let mut cfg = NocConfig::default();
-        cfg.buffer_packets = 2;
+        let cfg = NocConfig {
+            buffer_packets: 2,
+            ..NocConfig::default()
+        };
         let mut net = Network::new(&topo, cfg);
         let dst = topo.cube_at_position(2).unwrap();
         // The host injection buffer holds 2 packets; more must fail until

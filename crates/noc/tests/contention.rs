@@ -84,9 +84,11 @@ fn backpressure_cascades_upstream_without_loss() {
     // Tiny buffers on a long chain: flooding the far cube must not lose or
     // duplicate packets, only slow them down.
     let topo = chain(8);
-    let mut cfg = NocConfig::default();
-    cfg.buffer_packets = 1;
-    cfg.ejection_packets = 1;
+    let cfg = NocConfig {
+        buffer_packets: 1,
+        ejection_packets: 1,
+        ..NocConfig::default()
+    };
     let mut net = Network::new(&topo, cfg);
     let far = topo.cube_at_position(8).unwrap();
 
@@ -126,8 +128,10 @@ fn backpressure_cascades_upstream_without_loss() {
 fn full_duplex_cuts_round_trip_under_bidirectional_load() {
     let run = |duplex: LinkDuplex| {
         let topo = chain(4);
-        let mut cfg = NocConfig::default();
-        cfg.duplex = duplex;
+        let cfg = NocConfig {
+            duplex,
+            ..NocConfig::default()
+        };
         let mut net = Network::new(&topo, cfg);
         let far = topo.cube_at_position(4).unwrap();
         // Bidirectional flood: requests out, responses back (inject as
@@ -185,8 +189,10 @@ fn distance_arbitration_shifts_service_toward_through_traffic() {
     // arbiter: distance weighting should deliver them sooner.
     let order_of_far = |arbiter: ArbiterKind| {
         let topo = chain(2);
-        let mut cfg = NocConfig::default();
-        cfg.arbiter = arbiter;
+        let cfg = NocConfig {
+            arbiter,
+            ..NocConfig::default()
+        };
         let mut net = Network::new(&topo, cfg);
         let near = topo.cube_at_position(1).unwrap();
         let far = topo.cube_at_position(2).unwrap();
@@ -248,8 +254,10 @@ fn link_utilization_reflects_traffic() {
 #[test]
 fn ejection_buffer_backpressure_holds_packets_in_network() {
     let topo = chain(2);
-    let mut cfg = NocConfig::default();
-    cfg.ejection_packets = 1;
+    let cfg = NocConfig {
+        ejection_packets: 1,
+        ..NocConfig::default()
+    };
     let mut net = Network::new(&topo, cfg);
     let c1 = topo.cube_at_position(1).unwrap();
     for t in 0..4 {

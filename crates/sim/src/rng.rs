@@ -1,13 +1,13 @@
 //! Deterministic random number generation for workload synthesis.
 //!
 //! All randomness in the workspace flows through [`SimRng`] so that every
-//! experiment is reproducible from a single `u64` seed. The type wraps
-//! [`rand::rngs::SmallRng`] and adds the distributions the workload
-//! generators need (Bernoulli draws, bounded uniforms, geometric burst
-//! lengths, and a Zipf sampler for spatial locality).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! experiment is reproducible from a single `u64` seed. The generator is a
+//! self-contained xoshiro256++ (seeded through SplitMix64, so any `u64`
+//! seed — including zero — yields a well-mixed state) with the
+//! distributions the workload generators need (Bernoulli draws, bounded
+//! uniforms, geometric burst lengths, and a Zipf sampler for spatial
+//! locality). No external crates are involved, which keeps the workspace
+//! buildable offline and the bit-streams stable across toolchains.
 
 /// A seeded, deterministic random source.
 ///
@@ -22,14 +22,23 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: std::array::from_fn(|_| splitmix64(&mut sm)),
         }
     }
 
@@ -43,19 +52,29 @@ impl SimRng {
         SimRng::seed_from(z ^ (z >> 31))
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform draw in `[0, bound)`.
+    /// Uniform draw in `[0, bound)` via the multiply-shift reduction; the
+    /// bias is `bound / 2^64`, far below anything the simulations resolve.
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -65,18 +84,18 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// A Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)`: the top 53 bits of one draw.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A geometric draw: the number of successes (each with probability

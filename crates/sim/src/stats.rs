@@ -143,6 +143,22 @@ impl Accumulator {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// The exact internal state `(sum_ps, count, min_ps, max_ps)`, for
+    /// lossless serialization (e.g. the campaign result cache).
+    pub fn raw_parts(&self) -> (u128, u64, u64, u64) {
+        (self.sum_ps, self.count, self.min_ps, self.max_ps)
+    }
+
+    /// Rebuilds an accumulator from [`Accumulator::raw_parts`] output.
+    pub fn from_raw_parts(sum_ps: u128, count: u64, min_ps: u64, max_ps: u64) -> Accumulator {
+        Accumulator {
+            sum_ps,
+            count,
+            min_ps,
+            max_ps,
+        }
+    }
 }
 
 /// Welford online mean/variance over `f64` samples.
@@ -264,6 +280,20 @@ impl Histogram {
                 let floor = if i == 0 { 0 } else { 1u64 << i };
                 (SimDuration::from_ps(floor), c)
             })
+    }
+
+    /// The raw bucket counts (64 entries), for lossless serialization.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from [`Histogram::bucket_counts`] output;
+    /// shorter slices are zero-padded to 64 buckets.
+    pub fn from_bucket_counts(counts: &[u64]) -> Histogram {
+        let mut buckets = vec![0; 64];
+        buckets[..counts.len().min(64)].copy_from_slice(&counts[..counts.len().min(64)]);
+        let total = buckets.iter().sum();
+        Histogram { buckets, total }
     }
 
     /// An approximate quantile: the lower bound of the bucket containing the
