@@ -81,6 +81,7 @@ fn main() {
         let mut now = SimTime::ZERO;
         let mut sent = 0u64;
         let mut done = 0u64;
+        let mut ready = Vec::new();
         while done < 1_000 {
             while sent < 1_000 {
                 let dst = topo.cube_at_position((sent % 16 + 1) as u32).unwrap();
@@ -90,7 +91,8 @@ fn main() {
                 }
                 sent += 1;
             }
-            for node in net.advance(now) {
+            net.advance(now, &mut ready);
+            for &node in &ready {
                 while net.take_delivery(node, now).is_some() {
                     done += 1;
                 }

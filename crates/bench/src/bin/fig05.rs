@@ -6,47 +6,11 @@
 //! responses are prioritized on the shared links; NW has the largest
 //! in-memory share.
 
-use mn_bench::{config_for, Harness};
-use mn_campaign::CampaignPoint;
-use mn_topo::{NvmPlacement, TopologyKind};
-use mn_workloads::Workload;
-
-const TOPOLOGIES: [TopologyKind; 3] = [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree];
+use mn_bench::{fig05_points, fig05_table, Harness};
 
 fn main() {
     let mut harness = Harness::new();
-    let points: Vec<CampaignPoint> = Workload::ALL
-        .into_iter()
-        .flat_map(|wl| {
-            TOPOLOGIES
-                .into_iter()
-                .map(move |topo| CampaignPoint::new(config_for(topo, 1.0, NvmPlacement::Last), wl))
-        })
-        .collect();
-    let results = harness.run_grid(points);
-
-    println!("== Fig. 5: latency breakdown relative to chain total ==");
-    println!(
-        "{:<10} {:<6} {:>10} {:>10} {:>10} {:>10}",
-        "workload", "topo", "to-mem", "in-mem", "from-mem", "total(ns)"
-    );
-    for (w, wl) in Workload::ALL.into_iter().enumerate() {
-        let mut chain_total = None;
-        for (t, topo) in TOPOLOGIES.into_iter().enumerate() {
-            let result = &results[w * TOPOLOGIES.len() + t];
-            let b = &result.breakdown;
-            let total = b.total_mean_ns();
-            let base = *chain_total.get_or_insert(total);
-            println!(
-                "{:<10} {:<6} {:>9.3} {:>10.3} {:>10.3} {:>9.1}ns",
-                wl.label(),
-                topo.label(),
-                b.to_memory.mean_ns() / base,
-                b.in_memory.mean_ns() / base,
-                b.from_memory.mean_ns() / base,
-                total,
-            );
-        }
-    }
+    let results = harness.run_grid(fig05_points());
+    print!("{}", fig05_table(&results));
     harness.finish();
 }

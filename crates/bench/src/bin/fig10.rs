@@ -7,37 +7,10 @@
 //! all-DRAM and NVM-L configurations but can invert on NVM-F, where nearby
 //! slow arrays make young-looking responses actually old.
 
-use mn_bench::{print_speedup_table, twelve_config_grid, Harness, SpeedupRow};
-use mn_noc::ArbiterKind;
-use mn_topo::TopologyKind;
-use mn_workloads::Workload;
+use mn_bench::{fig10_report, Harness};
 
 fn main() {
     let mut harness = Harness::new();
-    let grid = twelve_config_grid([TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree]);
-    let with_distance = harness.speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::Distance));
-    print_speedup_table(
-        "Fig. 10: distance-based arbitration on baseline topologies (vs 100%-C RR)",
-        &with_distance,
-    );
-
-    let with_rr = harness.speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::RoundRobin));
-    let delta_rows: Vec<SpeedupRow> = with_distance
-        .iter()
-        .zip(&with_rr)
-        .map(|(d, r)| SpeedupRow {
-            workload: d.workload.clone(),
-            entries: d
-                .entries
-                .iter()
-                .zip(&r.entries)
-                .map(|((label, dp), (_, rp))| (label.clone(), dp - rp))
-                .collect(),
-        })
-        .collect();
-    print_speedup_table(
-        "Fig. 10 (delta view): distance arbitration minus round-robin, percentage points",
-        &delta_rows,
-    );
+    print!("{}", fig10_report(&mut harness));
     harness.finish();
 }

@@ -1,0 +1,177 @@
+//! `kernel_bench` — the DES-kernel microbenchmark behind `BENCH_kernel.json`.
+//!
+//! Times the canonical *chain-640-requests* microbench (the paper-baseline
+//! chain MN driven to 640 completed requests) plus two larger reference
+//! points, and reports the kernel-health metrics the hot-path work targets:
+//!
+//! - **events/sec** and **ns/event** — wall time divided by the number of
+//!   discrete events processed. The event stream is part of the
+//!   bit-reproducible contract, so the denominator is stable across kernel
+//!   changes and the ratio tracks pure dispatch cost.
+//! - **peak queue depth** — the event heap's high-water mark; arbitration
+//!   coalescing and pre-sizing drive this down.
+//! - **allocations per 1k events** — counted by a wrapping global
+//!   allocator; scratch-buffer reuse and slab tokens drive this toward
+//!   zero in the steady state.
+//!
+//! Results go to stdout (human-readable) and to `BENCH_kernel.json`
+//! (`MN_BENCH_OUT` to relocate), so CI can archive the perf trajectory
+//! per-PR and regressions are visible as a diff, not an anecdote.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mn_core::{simulate_port, SystemConfig};
+use mn_topo::TopologyKind;
+use mn_workloads::Workload;
+
+/// A pass-through allocator that counts heap operations on the hot path.
+/// Lives in the binary (the workspace libraries `forbid(unsafe_code)`; the
+/// two calls below are the canonical delegating-allocator idiom).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, which upholds the GlobalAlloc
+// contract; the counter has no safety implications.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Case {
+    name: &'static str,
+    topology: TopologyKind,
+    requests: u64,
+    workload: Workload,
+    iters: u32,
+}
+
+struct Measurement {
+    name: String,
+    events_per_iter: u64,
+    queue_peak: usize,
+    ns_per_event: f64,
+    events_per_sec: f64,
+    allocs_per_1k_events: f64,
+    wall_per_iter_ms: f64,
+}
+
+fn run_case(case: &Case) -> Measurement {
+    let mut config =
+        SystemConfig::paper_baseline(case.topology, 1.0).expect("paper baseline is valid");
+    config.requests_per_port = case.requests;
+
+    // Warm up (page in code, size caches) outside the measured window.
+    let reference = simulate_port(&config, case.workload, 0);
+    let events = reference.kernel_events();
+    let queue_peak = reference.event_queue_peak();
+
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..case.iters {
+        let obs = simulate_port(&config, case.workload, 0);
+        assert_eq!(
+            obs.kernel_events(),
+            events,
+            "event stream must be deterministic"
+        );
+        std::hint::black_box(&obs);
+    }
+    let wall = start.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+
+    let total_events = events * u64::from(case.iters);
+    let secs = wall.as_secs_f64();
+    Measurement {
+        name: case.name.to_string(),
+        events_per_iter: events,
+        queue_peak,
+        ns_per_event: secs * 1e9 / total_events as f64,
+        events_per_sec: total_events as f64 / secs,
+        allocs_per_1k_events: allocs as f64 * 1000.0 / total_events as f64,
+        wall_per_iter_ms: secs * 1e3 / f64::from(case.iters),
+    }
+}
+
+fn main() {
+    let cases = [
+        Case {
+            name: "chain-640-requests",
+            topology: TopologyKind::Chain,
+            requests: 640,
+            workload: Workload::Dct,
+            iters: 40,
+        },
+        Case {
+            name: "tree-2k-requests",
+            topology: TopologyKind::Tree,
+            requests: 2_000,
+            workload: Workload::Nw,
+            iters: 10,
+        },
+        Case {
+            name: "skiplist-2k-requests",
+            topology: TopologyKind::SkipList,
+            requests: 2_000,
+            workload: Workload::Backprop,
+            iters: 10,
+        },
+    ];
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>10} {:>14} {:>12} {:>12}",
+        "case", "events/iter", "peak q", "ns/event", "events/sec", "alloc/1kev", "ms/iter"
+    );
+    let mut measurements = Vec::new();
+    for case in &cases {
+        let m = run_case(case);
+        println!(
+            "{:<22} {:>12} {:>10} {:>10.1} {:>14.0} {:>12.2} {:>12.3}",
+            m.name,
+            m.events_per_iter,
+            m.queue_peak,
+            m.ns_per_event,
+            m.events_per_sec,
+            m.allocs_per_1k_events,
+            m.wall_per_iter_ms
+        );
+        measurements.push(m);
+    }
+
+    let out = std::env::var("MN_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernel.json".to_string());
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\":\"{}\",\"events_per_iter\":{},\"peak_queue_depth\":{},\
+             \"ns_per_event\":{:.3},\"events_per_sec\":{:.0},\
+             \"allocs_per_1k_events\":{:.2},\"wall_per_iter_ms\":{:.3}}}{comma}",
+            m.name,
+            m.events_per_iter,
+            m.queue_peak,
+            m.ns_per_event,
+            m.events_per_sec,
+            m.allocs_per_1k_events,
+            m.wall_per_iter_ms
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("warning: could not write {out}: {err}");
+    } else {
+        eprintln!("wrote {out}");
+    }
+}

@@ -153,6 +153,17 @@ impl Harness {
         }
     }
 
+    /// A quiet harness backed by an explicit cache directory — what the
+    /// golden tests use to replay a committed `results/cache/` without
+    /// consulting the environment.
+    pub fn cached(jobs: usize, dir: impl Into<std::path::PathBuf>) -> Harness {
+        Harness {
+            campaign: Campaign::new(jobs).quiet().cache_dir(dir),
+            format: OutputFormat::Text,
+            outcomes: Vec::new(),
+        }
+    }
+
     /// Runs a grid of points through the engine; results come back in
     /// submission order.
     pub fn run_grid(&mut self, points: Vec<CampaignPoint>) -> Vec<RunResult> {
@@ -236,34 +247,129 @@ impl Harness {
     }
 }
 
+/// The Fig. 5 grid: every workload on the all-DRAM chain, ring, and tree
+/// (sized from the environment like every figure binary).
+pub fn fig05_points() -> Vec<CampaignPoint> {
+    const TOPOLOGIES: [TopologyKind; 3] =
+        [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree];
+    Workload::ALL
+        .into_iter()
+        .flat_map(|wl| {
+            TOPOLOGIES
+                .into_iter()
+                .map(move |topo| CampaignPoint::new(config_for(topo, 1.0, NvmPlacement::Last), wl))
+        })
+        .collect()
+}
+
+/// Renders the Fig. 5 latency-breakdown table from the results of
+/// [`fig05_points`] — byte-identical to the `fig05` binary's stdout, so
+/// the golden test can diff it against `results/fig05.txt`.
+pub fn fig05_table(results: &[RunResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fig. 5: latency breakdown relative to chain total =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<6} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "topo", "to-mem", "in-mem", "from-mem", "total(ns)"
+    );
+    let topologies = [TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree];
+    for (w, wl) in Workload::ALL.into_iter().enumerate() {
+        let mut chain_total = None;
+        for (t, topo) in topologies.into_iter().enumerate() {
+            let result = &results[w * topologies.len() + t];
+            let b = &result.breakdown;
+            let total = b.total_mean_ns();
+            let base = *chain_total.get_or_insert(total);
+            let _ = writeln!(
+                out,
+                "{:<10} {:<6} {:>9.3} {:>10.3} {:>10.3} {:>9.1}ns",
+                wl.label(),
+                topo.label(),
+                b.to_memory.mean_ns() / base,
+                b.in_memory.mean_ns() / base,
+                b.from_memory.mean_ns() / base,
+                total,
+            );
+        }
+    }
+    out
+}
+
+/// Runs the Fig. 10 experiment (distance arbitration on the twelve
+/// baseline configurations, plus the round-robin delta view) and renders
+/// both tables — exactly the `fig10` binary's stdout.
+pub fn fig10_report(harness: &mut Harness) -> String {
+    let grid = twelve_config_grid([TopologyKind::Chain, TopologyKind::Ring, TopologyKind::Tree]);
+    let with_distance = harness.speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::Distance));
+    let mut out = render_speedup_table(
+        "Fig. 10: distance-based arbitration on baseline topologies (vs 100%-C RR)",
+        &with_distance,
+    );
+
+    let with_rr = harness.speedup_table(&grid, &Workload::ALL, Some(ArbiterKind::RoundRobin));
+    let delta_rows: Vec<SpeedupRow> = with_distance
+        .iter()
+        .zip(&with_rr)
+        .map(|(d, r)| SpeedupRow {
+            workload: d.workload.clone(),
+            entries: d
+                .entries
+                .iter()
+                .zip(&r.entries)
+                .map(|((label, dp), (_, rp))| (label.clone(), dp - rp))
+                .collect(),
+        })
+        .collect();
+    out.push_str(&render_speedup_table(
+        "Fig. 10 (delta view): distance arbitration minus round-robin, percentage points",
+        &delta_rows,
+    ));
+    out
+}
+
 /// Prints a speedup table with an `average` row, matching the paper's
 /// figure layout (workloads as rows, configurations as columns).
 pub fn print_speedup_table(title: &str, rows: &[SpeedupRow]) {
-    println!("\n== {title} ==");
+    print!("{}", render_speedup_table(title, rows));
+}
+
+/// Renders a speedup table to a string, byte-identical to what
+/// [`print_speedup_table`] emits — the golden tests diff this against the
+/// committed `results/*.txt`.
+pub fn render_speedup_table(title: &str, rows: &[SpeedupRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
     let Some(first) = rows.first() else {
-        println!("(no data)");
-        return;
+        let _ = writeln!(out, "(no data)");
+        return out;
     };
-    print!("{:<10}", "workload");
+    let _ = write!(out, "{:<10}", "workload");
     for (label, _) in &first.entries {
-        print!(" {label:>16}");
+        let _ = write!(out, " {label:>16}");
     }
-    println!();
+    let _ = writeln!(out);
     let cols = first.entries.len();
     let mut sums = vec![0.0; cols];
     for row in rows {
-        print!("{:<10}", row.workload);
+        let _ = write!(out, "{:<10}", row.workload);
         for (i, (_, pct)) in row.entries.iter().enumerate() {
-            print!(" {pct:>+15.1}%");
+            let _ = write!(out, " {pct:>+15.1}%");
             sums[i] += pct;
         }
-        println!();
+        let _ = writeln!(out);
     }
-    print!("{:<10}", "average");
+    let _ = write!(out, "{:<10}", "average");
     for sum in sums {
-        print!(" {:>+15.1}%", sum / rows.len() as f64);
+        let _ = write!(out, " {:>+15.1}%", sum / rows.len() as f64);
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
 #[cfg(test)]

@@ -4,10 +4,13 @@
 //! [`PointOutcome`] per point, in input order, with three guarantees:
 //!
 //! 1. **Bit-identical to serial.** Points never share mutable state — each
-//!    carries its own seed inside its config, and `mn_core::simulate` is a
-//!    pure function of `(config, workload)` — so the worker count only
-//!    changes wall-clock time, never results. The determinism test in
-//!    `tests/determinism.rs` pins this.
+//!    carries its own seed inside its config, and `mn_core::simulate_port`
+//!    is a pure function of `(config, workload, port)` — so the worker
+//!    count only changes wall-clock time, never results. Cache misses are
+//!    decomposed into *per-port* jobs (ports serve disjoint address
+//!    slices) and merged in ascending port order, so even a single huge
+//!    multi-port point parallelizes without perturbing a bit of output.
+//!    The determinism test in `tests/determinism.rs` pins this.
 //! 2. **Duplicates are folded.** Points with equal fingerprints (e.g. the
 //!    `100%-C` baseline submitted once per workload-normalized figure) are
 //!    simulated once and replicated.
@@ -21,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use mn_core::{simulate, RunResult};
+use mn_core::{merge_port_observations, port_count, simulate_port, PortObservation, RunResult};
 
 use crate::cache::{cache_disabled_by_env, default_cache_dir, DiskCache};
 use crate::env::jobs_from_env;
@@ -136,27 +139,93 @@ impl Campaign {
             canonical.push(slot);
         }
 
-        let jobs = self.jobs.min(unique.len()).max(1);
+        // Probe the cache up front (cheap, I/O-bound) so only the misses
+        // are fanned out to the workers.
         let mut slots: Vec<Option<(RunResult, bool, Duration)>> = vec![None; unique.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        if let Some(cache) = &self.cache {
+            for (i, point) in unique.iter().enumerate() {
+                let start = Instant::now();
+                if let Some(result) = cache.load(point) {
+                    progress.tick(true);
+                    slots[i] = Some((result, true, start.elapsed()));
+                } else {
+                    misses.push(i);
+                }
+            }
+        } else {
+            misses.extend(0..unique.len());
+        }
+
+        // Decompose each miss into per-port jobs — ports serve disjoint
+        // address slices, so each is an independent simulation — and fan
+        // those out instead of whole points. A multi-port grid point no
+        // longer bounds the tail: its ports run concurrently on different
+        // workers. Observations are merged in ascending port order, which
+        // keeps every aggregate bit-identical to the serial `simulate`.
+        let port_jobs: Vec<(usize, u32)> = misses
+            .iter()
+            .flat_map(|&i| (0..port_count(&unique[i].config)).map(move |port| (i, port)))
+            .collect();
+        let jobs = self.jobs.min(port_jobs.len()).max(1);
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 let tx = tx.clone();
                 let next = &next;
+                let port_jobs = &port_jobs;
                 let unique = &unique;
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(point) = unique.get(i) else { break };
-                    if tx.send((i, self.execute(point))).is_err() {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(i, port)) = port_jobs.get(j) else {
+                        break;
+                    };
+                    let point = unique[i];
+                    let start = Instant::now();
+                    let obs = simulate_port(&point.config, point.workload, port);
+                    if tx.send((j, obs, start.elapsed())).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            while let Ok((i, executed)) = rx.recv() {
-                progress.tick(executed.1);
-                slots[i] = Some(executed);
+
+            // Gather observations; a point merges — and is cached — the
+            // moment its last port lands.
+            let mut gathering: HashMap<usize, (Vec<Option<PortObservation>>, Duration)> = misses
+                .iter()
+                .map(|&i| {
+                    let ports = port_count(&unique[i].config) as usize;
+                    (i, ((0..ports).map(|_| None).collect(), Duration::ZERO))
+                })
+                .collect();
+            while let Ok((j, obs, host)) = rx.recv() {
+                let (i, port) = port_jobs[j];
+                let entry = gathering.get_mut(&i).expect("job belongs to a miss");
+                entry.0[port as usize] = Some(obs);
+                entry.1 += host;
+                if entry.0.iter().all(Option::is_some) {
+                    let (observations, host) = gathering.remove(&i).expect("present");
+                    let point = unique[i];
+                    let result = merge_port_observations(
+                        &point.config,
+                        point.workload,
+                        observations
+                            .into_iter()
+                            .map(|o| o.expect("all ports landed")),
+                    );
+                    if let Some(cache) = &self.cache {
+                        if let Err(err) = cache.store(point, &result) {
+                            eprintln!(
+                                "warning: could not cache result in {}: {err}",
+                                cache.dir().display()
+                            );
+                        }
+                    }
+                    progress.tick(false);
+                    slots[i] = Some((result, false, host));
+                }
             }
         });
 
@@ -196,25 +265,6 @@ impl Campaign {
             })
             .collect();
         CampaignOutcome { outcomes, summary }
-    }
-
-    fn execute(&self, point: &CampaignPoint) -> (RunResult, bool, Duration) {
-        let start = Instant::now();
-        if let Some(cache) = &self.cache {
-            if let Some(result) = cache.load(point) {
-                return (result, true, start.elapsed());
-            }
-        }
-        let result = simulate(&point.config, point.workload);
-        if let Some(cache) = &self.cache {
-            if let Err(err) = cache.store(point, &result) {
-                eprintln!(
-                    "warning: could not cache result in {}: {err}",
-                    cache.dir().display()
-                );
-            }
-        }
-        (result, false, start.elapsed())
     }
 }
 

@@ -53,5 +53,6 @@ pub use config::{ConfigError, SystemConfig};
 pub use experiment::{
     baseline_chain_config, mix_grid, ratio_label, speedup_pct, ConfigPoint, MixSpec,
 };
+pub use port::PortObservation;
 pub use stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
-pub use system::simulate;
+pub use system::{merge_port_observations, port_count, simulate, simulate_port};

@@ -33,11 +33,11 @@
 //! bounded write buffer, so sustained write bursts eventually stall issue
 //! (BACKPROP's failure mode on slow write paths).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use mn_mem::{EnergyPj, MemAccess, MemTechSpec, QuadrantController};
 use mn_noc::{Network, Packet, PacketKind, WriteBurstDetector};
-use mn_sim::{Histogram, SimDuration, SimRng, SimTime};
+use mn_sim::{Histogram, SeqSlab, SimDuration, SimRng, SimTime};
 use mn_topo::{CubeTech, NodeId, PathClass, Topology, TopologyKind};
 use mn_workloads::{MemRef, TraceGenerator};
 
@@ -73,17 +73,42 @@ struct PendingResponse {
     packet: Packet,
 }
 
-/// Result of simulating one port to trace completion.
+/// Raw result of simulating one port to trace completion.
+///
+/// Produced by [`crate::simulate_port`]; merge a config's worth of these
+/// (in ascending port order) with [`crate::merge_port_observations`]. The
+/// type is opaque on purpose: it exists so schedulers can fan per-port
+/// simulations out to worker threads and still produce results
+/// bit-identical to the serial [`crate::simulate`].
 #[derive(Debug)]
-pub(crate) struct PortResult {
-    pub wall: SimTime,
-    pub breakdown: LatencyBreakdown,
-    pub read_latency: Histogram,
-    pub energy: EnergyBreakdown,
-    pub reads: u64,
-    pub writes: u64,
-    pub row_hit_rate: f64,
-    pub avg_hops: f64,
+pub struct PortObservation {
+    pub(crate) wall: SimTime,
+    pub(crate) breakdown: LatencyBreakdown,
+    pub(crate) read_latency: Histogram,
+    pub(crate) energy: EnergyBreakdown,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) row_hit_rate: f64,
+    pub(crate) avg_hops: f64,
+    pub(crate) kernel_events: u64,
+    pub(crate) queue_peak: usize,
+}
+
+impl PortObservation {
+    /// Discrete events the port's network kernel processed to completion.
+    ///
+    /// The event *stream* is part of the bit-reproducible contract (the
+    /// fire-time arbitration skip never drops a scheduled event), so this
+    /// count is stable across kernel optimizations — which makes it the
+    /// denominator `kernel_bench` uses to turn wall time into events/sec.
+    pub fn kernel_events(&self) -> u64 {
+        self.kernel_events
+    }
+
+    /// High-water mark of the network's event queue over the run.
+    pub fn event_queue_peak(&self) -> usize {
+        self.queue_peak
+    }
 }
 
 /// The end-to-end simulator for one port's memory network.
@@ -106,8 +131,10 @@ pub(crate) struct PortSim {
 
     /// Wavefront slots waiting out their think time: (due, burst refs).
     thinking: Vec<(SimTime, Vec<MemRef>)>,
-    /// Remaining responses per in-flight burst.
-    bursts: HashMap<u64, u32>,
+    /// Remaining responses per in-flight burst, keyed by the sequential
+    /// burst id (a ring-buffer slab, not a hash map — burst ids are issued
+    /// monotonically, so lookup is an array index).
+    bursts: SeqSlab<u32>,
     next_burst: u64,
     burst_rng: SimRng,
     pulled: u64,
@@ -116,7 +143,10 @@ pub(crate) struct PortSim {
     outstanding: usize,
     outstanding_writes: usize,
     write_cap: usize,
-    inflight: HashMap<u64, Inflight>,
+    /// In-flight request state keyed by the sequential token. Tokens are
+    /// issued FIFO through `host_queue`, so insertion is monotonic and the
+    /// slab's window stays proportional to the outstanding count.
+    inflight: SeqSlab<Inflight>,
     pending_responses: Vec<PendingResponse>,
 
     completed: u64,
@@ -187,7 +217,7 @@ impl PortSim {
                 && config.topology == TopologyKind::SkipList,
             transport_pj_per_bit_hop: config.noc.transport_pj_per_bit_hop,
             thinking: Vec::new(),
-            bursts: HashMap::new(),
+            bursts: SeqSlab::with_capacity(config.window),
             next_burst: 0,
             burst_rng: SimRng::seed_from(config.seed ^ 0xB0B5_7EA5),
             pulled: 0,
@@ -196,7 +226,7 @@ impl PortSim {
             outstanding: 0,
             outstanding_writes: 0,
             write_cap: config.host_write_buffer,
-            inflight: HashMap::new(),
+            inflight: SeqSlab::with_capacity(2 * config.window),
             pending_responses: Vec::new(),
             completed: 0,
             reads: 0,
@@ -217,8 +247,11 @@ impl PortSim {
     /// Panics if the simulation wedges (no component can make progress
     /// while requests remain) — that would be a simulator bug, not a
     /// configuration error.
-    pub(crate) fn run(mut self) -> PortResult {
+    pub(crate) fn run(mut self) -> PortObservation {
         let mut now = SimTime::ZERO;
+        // One ready buffer for the whole run; `Network::advance` refills it
+        // in place every iteration of the hot loop.
+        let mut ready = Vec::new();
         self.spawn_threads();
         while self.completed < self.total_requests {
             // Fixpoint at `now`: keep moving work until nothing changes.
@@ -226,10 +259,10 @@ impl PortSim {
                 let mut progress = false;
                 progress |= self.stage_and_offer(now);
                 progress |= self.inject_host(now);
-                let ready = self.net.advance(now);
+                self.net.advance(now, &mut ready);
                 if !ready.is_empty() {
                     progress = true;
-                    for node in ready {
+                    for &node in &ready {
                         self.drain_node(node, now);
                     }
                 }
@@ -256,7 +289,7 @@ impl PortSim {
 
         let (hits, accesses) = self.row_hit_counts();
         let delivered = self.net.stats().delivered.value().max(1);
-        PortResult {
+        PortObservation {
             wall: self.last_response_at,
             breakdown: self.breakdown,
             read_latency: self.read_latency,
@@ -277,6 +310,8 @@ impl PortSim {
                 hits as f64 / accesses as f64
             },
             avg_hops: self.hop_sum as f64 / delivered as f64,
+            kernel_events: self.net.events_processed(),
+            queue_peak: self.net.event_queue_peak(),
         }
     }
 
@@ -402,8 +437,8 @@ impl PortSim {
                 .host_queue
                 .front()
                 .is_none_or(|&(_, _, _, b)| b != burst);
-            if burst_fully_issued && self.bursts.get(&burst) == Some(&0) {
-                self.bursts.remove(&burst);
+            if burst_fully_issued && self.bursts.get(burst) == Some(&0) {
+                self.bursts.remove(burst);
                 self.recycle_thread(now);
             }
             progress = true;
@@ -423,7 +458,7 @@ impl PortSim {
         // A cube: admit requests while their quadrant controller has room.
         while let Some(head) = self.net.peek_delivery(node) {
             let token = head.token;
-            let rec = self.inflight.get(&token).expect("request is in flight");
+            let rec = self.inflight.get(token).expect("request is in flight");
             let quadrant = rec.decoded.quadrant;
             let is_write = head.kind == PacketKind::WriteRequest;
             let has_space = self.controllers[node.index()]
@@ -435,7 +470,7 @@ impl PortSim {
             }
             let d = self.net.take_delivery(node, now).expect("peeked");
             self.hop_sum += u64::from(d.packet.hops());
-            let rec = self.inflight.get_mut(&token).expect("in flight");
+            let rec = self.inflight.get_mut(token).expect("in flight");
             rec.arrived_at_cube = d.arrived_at;
             self.breakdown
                 .to_memory
@@ -475,7 +510,7 @@ impl PortSim {
                     progress = true;
                     let rec = self
                         .inflight
-                        .get_mut(&done.token)
+                        .get_mut(done.token)
                         .expect("completion maps to in-flight request");
                     rec.mem_done = done.completed_at;
                     self.breakdown
@@ -525,7 +560,7 @@ impl PortSim {
         self.hop_sum += u64::from(response.hops());
         let rec = self
             .inflight
-            .remove(&response.token)
+            .remove(response.token)
             .expect("response maps to in-flight request");
         self.breakdown
             .from_memory
@@ -544,10 +579,10 @@ impl PortSim {
             .record(at.saturating_since(rec.offered_at));
         // The slot recycles when its last read returns; any writes of the
         // burst still queued follow on their own.
-        if let Some(remaining) = self.bursts.get_mut(&rec.burst) {
+        if let Some(remaining) = self.bursts.get_mut(rec.burst) {
             *remaining -= 1;
             if *remaining == 0 {
-                self.bursts.remove(&rec.burst);
+                self.bursts.remove(rec.burst);
                 self.recycle_thread(at);
             }
         }
@@ -604,7 +639,7 @@ mod tests {
         c
     }
 
-    fn run(config: &SystemConfig, workload: Workload) -> PortResult {
+    fn run(config: &SystemConfig, workload: Workload) -> PortObservation {
         let space = config.capacity_per_port_gb() * (1 << 30);
         let mut profile = workload.profile();
         profile.footprint_fraction = 1.0;

@@ -3,7 +3,7 @@
 use mn_workloads::{TraceGenerator, Workload};
 
 use crate::config::SystemConfig;
-use crate::port::PortSim;
+use crate::port::{PortObservation, PortSim};
 use crate::stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
 
 /// Simulates `config` running `workload` and returns aggregated results.
@@ -33,9 +33,47 @@ use crate::stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
 /// assert_eq!(result.reads + result.writes, 1_000);
 /// ```
 pub fn simulate(config: &SystemConfig, workload: Workload) -> RunResult {
+    let observations = (0..port_count(config)).map(|port| simulate_port(config, workload, port));
+    merge_port_observations(config, workload, observations)
+}
+
+/// The number of independent port simulations `config` describes.
+pub fn port_count(config: &SystemConfig) -> u32 {
+    config.simulated_ports.max(1)
+}
+
+/// Simulates one port of `config` (0-based index) under `workload`.
+///
+/// Ports serve disjoint address slices with decorrelated seeds, so each
+/// call is an independent, deterministic simulation. [`simulate`] is the
+/// serial composition of this with [`merge_port_observations`]; a
+/// scheduler (mn-campaign) fans these calls out to worker threads instead,
+/// and — because the merge is ordered — the aggregate is bit-identical
+/// either way.
+///
+/// # Panics
+///
+/// Panics if the configuration's placement is invalid.
+pub fn simulate_port(config: &SystemConfig, workload: Workload, port: u32) -> PortObservation {
     config.placement().expect("invalid configuration");
     let space_bytes = config.capacity_per_port_gb() * (1 << 30);
+    let seed = config
+        .seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(port) + 1));
+    let trace = TraceGenerator::new(workload.profile(), space_bytes, seed);
+    PortSim::new(config, trace).run()
+}
 
+/// Merges per-port observations into the aggregate [`RunResult`].
+///
+/// `observations` must be supplied in ascending port order: the merge sums
+/// floating-point statistics, and summation order is part of the
+/// bit-reproducible contract the result cache depends on.
+pub fn merge_port_observations(
+    config: &SystemConfig,
+    workload: Workload,
+    observations: impl IntoIterator<Item = PortObservation>,
+) -> RunResult {
     let mut wall = mn_sim::SimTime::ZERO;
     let mut breakdown = LatencyBreakdown::default();
     let mut energy = EnergyBreakdown::default();
@@ -45,12 +83,7 @@ pub fn simulate(config: &SystemConfig, workload: Workload) -> RunResult {
     let mut hit_rate_sum = 0.0;
     let mut hops_sum = 0.0;
 
-    for port in 0..config.simulated_ports.max(1) {
-        let seed = config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(port) + 1));
-        let trace = TraceGenerator::new(workload.profile(), space_bytes, seed);
-        let result = PortSim::new(config, trace).run();
+    for result in observations {
         wall = wall.max(result.wall);
         breakdown.merge(&result.breakdown);
         energy.merge(&result.energy);
@@ -61,7 +94,7 @@ pub fn simulate(config: &SystemConfig, workload: Workload) -> RunResult {
         hops_sum += result.avg_hops;
     }
 
-    let n = f64::from(config.simulated_ports.max(1));
+    let n = f64::from(port_count(config));
     RunResult {
         label: config.label(),
         workload: workload.label().to_string(),

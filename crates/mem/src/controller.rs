@@ -118,6 +118,12 @@ pub struct QuadrantController {
     write_capacity: usize,
     next_seq: u64,
     next_refresh: Option<SimTime>,
+    /// Memoized [`QuadrantController::next_event_time`], refreshed at the
+    /// end of the two public mutators (`enqueue`, `advance`). The system
+    /// simulator polls every quadrant of every cube each timestep; without
+    /// the memo each poll rescans all banks and queues, and that scan —
+    /// not event dispatch — dominates the kernel's wall clock.
+    next_cache: Option<SimTime>,
     stats_row_hits: u64,
     stats_accesses: u64,
     stats_drained_writes: u64,
@@ -143,6 +149,7 @@ impl QuadrantController {
             write_capacity: capacity * 2,
             next_seq: 0,
             next_refresh: spec.timings.refresh_interval.map(|i| SimTime::ZERO + i),
+            next_cache: None,
             stats_row_hits: 0,
             stats_accesses: 0,
             stats_drained_writes: 0,
@@ -204,6 +211,7 @@ impl QuadrantController {
         } else {
             self.reads.push_back(pending);
         }
+        self.next_cache = self.compute_next_event_time();
         Ok(())
     }
 
@@ -256,6 +264,7 @@ impl QuadrantController {
                 break;
             }
         }
+        self.next_cache = self.compute_next_event_time();
         done
     }
 
@@ -389,7 +398,14 @@ impl QuadrantController {
 
     /// The next instant at which calling [`QuadrantController::advance`]
     /// could make progress, or `None` when fully idle.
+    ///
+    /// O(1): returns the value memoized by the last mutation, so callers
+    /// can poll a large controller population every timestep for free.
     pub fn next_event_time(&self) -> Option<SimTime> {
+        self.next_cache
+    }
+
+    fn compute_next_event_time(&self) -> Option<SimTime> {
         let read_next = self
             .reads
             .iter()

@@ -93,20 +93,30 @@ impl RoundRobinArbiter {
             last: input_ports - 1,
         }
     }
+
+    /// Picks, among the contending input `ports`, the first after the last
+    /// winner in cyclic order, advancing the pointer to it. This is the
+    /// allocation-free core the weighted arbiters use for tie-breaking —
+    /// they feed it a filtered iterator instead of collecting the tied
+    /// candidates into a scratch `Vec` on every arbitration.
+    fn pick_port(&mut self, ports: impl Iterator<Item = usize>) -> usize {
+        let winner = ports
+            .min_by_key(|&p| (p + self.ports - self.last - 1) % self.ports)
+            .expect("no candidates to arbitrate");
+        self.last = winner;
+        winner
+    }
 }
 
 impl Arbiter for RoundRobinArbiter {
     fn pick(&mut self, candidates: &[Candidate]) -> usize {
         assert!(!candidates.is_empty(), "no candidates to arbitrate");
         // The winner is the first candidate after `last` in cyclic order.
-        let winner = candidates
+        let winner_port = self.pick_port(candidates.iter().map(|c| c.input_port));
+        candidates
             .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| (c.input_port + self.ports - self.last - 1) % self.ports)
-            .map(|(i, _)| i)
-            .expect("candidates non-empty");
-        self.last = candidates[winner].input_port;
-        winner
+            .position(|c| c.input_port == winner_port)
+            .expect("winner came from candidates")
     }
 
     fn weigh(&self, _packet: &Packet) -> u64 {
@@ -178,19 +188,19 @@ impl Arbiter for DistanceArbiter {
             total += c.weight as i64;
         }
         // Richest candidate wins; ties fall back to round-robin order for
-        // fairness among equals.
+        // fairness among equals. The tied ports are scanned in place —
+        // no per-arbitration scratch list.
         let best_credit = candidates
             .iter()
             .map(|c| self.credits[c.input_port])
             .max()
             .expect("non-empty");
-        let tied: Vec<Candidate> = candidates
-            .iter()
-            .copied()
-            .filter(|c| self.credits[c.input_port] == best_credit)
-            .collect();
-        let tie_winner = self.rr.pick(&tied);
-        let winner_port = tied[tie_winner].input_port;
+        let winner_port = self.rr.pick_port(
+            candidates
+                .iter()
+                .filter(|c| self.credits[c.input_port] == best_credit)
+                .map(|c| c.input_port),
+        );
         self.credits[winner_port] -= total;
         candidates
             .iter()
@@ -238,12 +248,12 @@ impl Arbiter for OldestFirstArbiter {
             .map(|c| c.weight)
             .max()
             .expect("non-empty");
-        let tied: Vec<Candidate> = candidates
-            .iter()
-            .copied()
-            .filter(|c| c.weight == best)
-            .collect();
-        let winner_port = tied[self.rr.pick(&tied)].input_port;
+        let winner_port = self.rr.pick_port(
+            candidates
+                .iter()
+                .filter(|c| c.weight == best)
+                .map(|c| c.input_port),
+        );
         candidates
             .iter()
             .position(|c| c.input_port == winner_port)

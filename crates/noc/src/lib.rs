@@ -48,10 +48,13 @@
 //! let pkt = Packet::request(0, PacketKind::ReadRequest, topo.host(), dst);
 //! net.inject(topo.host(), 0, pkt, SimTime::ZERO).unwrap();
 //!
-//! // Drive the network until the packet arrives.
+//! // Drive the network until the packet arrives. The `ready` buffer is
+//! // caller-owned so the hot loop never reallocates it.
 //! let mut deliveries = Vec::new();
+//! let mut ready = Vec::new();
 //! while let Some(t) = net.next_event_time() {
-//!     for node in net.advance(t) {
+//!     net.advance(t, &mut ready);
+//!     for &node in &ready {
 //!         while let Some(d) = net.take_delivery(node, t) {
 //!             deliveries.push(d);
 //!         }

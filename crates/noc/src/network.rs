@@ -30,7 +30,7 @@ use std::error::Error;
 use std::fmt;
 
 use mn_sim::{EventQueue, SimTime};
-use mn_topo::{LinkId, NodeId, NodeKind, RoutingTable, Topology};
+use mn_topo::{NodeId, NodeKind, RoutingTable, Topology};
 
 use crate::arbiter::{Arbiter, Candidate};
 use crate::config::{LinkDuplex, NocConfig};
@@ -71,7 +71,9 @@ struct Buf {
 impl Buf {
     fn with_capacity(capacity: usize) -> Buf {
         Buf {
-            queue: VecDeque::new(),
+            // Buffers are small and bounded; allocating them up front keeps
+            // the simulation loop free of growth reallocations.
+            queue: VecDeque::with_capacity(capacity),
             reserved: 0,
             capacity,
         }
@@ -136,9 +138,29 @@ pub struct Network {
     nodes: Vec<NodeState>,
     /// `link_free_at[link][dir]`; dir 0 is a→b.
     link_free_at: Vec<[SimTime; 2]>,
-    /// Port index of each link at each node: `(link, port)` pairs.
-    link_ports: Vec<Vec<(LinkId, usize)>>,
+    /// `neighbor_ports[node][out_port]`: the input-port index our link
+    /// occupies at the neighbor on the other end, precomputed so the send
+    /// path never searches the adjacency lists.
+    neighbor_ports: Vec<Vec<usize>>,
     events: EventQueue<NetEvent>,
+    /// Lazy arbitration-coalescing state: `arb_clean[n]` is true when node
+    /// `n` has arbitrated at `last_arb[n]` and no state change that could
+    /// enable new movement *at that same instant* has happened since. A
+    /// `TryArb` firing for a clean node at exactly `last_arb[n]` is a
+    /// provable no-op and its (expensive) port/VC scan is skipped. The
+    /// events themselves are never dropped: which packet wins an output
+    /// depends on how same-instant arbitrations interleave with arrivals,
+    /// so removing or reordering pushes would perturb results — the skip
+    /// happens at fire time, where no-op-ness is certain.
+    arb_clean: Vec<bool>,
+    /// Instant of each node's most recent arbitration (paired with
+    /// `arb_clean`; meaningless while the flag is false).
+    last_arb: Vec<SimTime>,
+    /// Per-node membership flag for the in-progress `advance` ready list —
+    /// structural dedup instead of a sort+dedup pass per call.
+    ready_pending: Vec<bool>,
+    /// Reusable arbitration candidate buffer (cleared before each use).
+    scratch: Vec<Candidate>,
     next_packet_id: u64,
     stats: NetStats,
 }
@@ -191,17 +213,42 @@ impl Network {
                 arbiters,
             });
         }
+        let neighbor_ports = topo
+            .node_ids()
+            .map(|id| {
+                topo.neighbors(id)
+                    .iter()
+                    .map(|&(neighbor, link)| {
+                        link_ports[neighbor.index()]
+                            .iter()
+                            .find(|(l, _)| *l == link)
+                            .map(|&(_, p)| p)
+                            .expect("link attaches to both endpoints")
+                    })
+                    .collect()
+            })
+            .collect();
         let stats = NetStats::new(topo.link_count());
+        // Pre-size the heap for the common working set — order one
+        // arbitration event per node plus one in-flight packet per link
+        // direction, doubled for wake cascades. The heap still grows past
+        // this under heavy transients; the hint only avoids the early
+        // doubling reallocations in every simulation's warm-up.
+        let event_capacity = 2 * (topo.node_count() + 2 * topo.link_count());
         Network {
-            topo: topo.clone(),
             routes,
             config,
             nodes,
             link_free_at: vec![[SimTime::ZERO; 2]; topo.link_count()],
-            link_ports,
-            events: EventQueue::new(),
+            neighbor_ports,
+            events: EventQueue::with_capacity(event_capacity),
+            arb_clean: vec![false; topo.node_count()],
+            last_arb: vec![SimTime::ZERO; topo.node_count()],
+            ready_pending: vec![false; topo.node_count()],
+            scratch: Vec::with_capacity(16),
             next_packet_id: 0,
             stats,
+            topo: topo.clone(),
         }
     }
 
@@ -262,7 +309,7 @@ impl Network {
         let vc = packet.kind.virtual_channel().index();
         state.bufs[port][vc].queue.push_back((packet, now));
         self.stats.injected.incr();
-        self.events.push(now, NetEvent::TryArb { node });
+        self.request_arb(node, now);
         Ok(id)
     }
 
@@ -271,11 +318,27 @@ impl Network {
         self.events.peek_time()
     }
 
-    /// Processes all internal events up to and including `now`. Returns the
-    /// nodes whose ejection buffers gained packets; pull them with
+    /// Schedules an arbitration for `node` at `time` and marks the node
+    /// dirty, so the pending-event skip in [`Network::advance`] cannot
+    /// treat it as a no-op. Every push site goes through here: the pushed
+    /// stream (and hence the FIFO sequence numbering that orders
+    /// same-instant events) is exactly the pre-optimization one, which is
+    /// what keeps results bit-identical.
+    fn request_arb(&mut self, node: NodeId, time: SimTime) {
+        self.arb_clean[node.index()] = false;
+        self.events.push(time, NetEvent::TryArb { node });
+    }
+
+    /// Processes all internal events up to and including `now`, appending
+    /// the nodes whose ejection buffers gained packets to `ready` (cleared
+    /// first, each node at most once, in ascending order); pull them with
     /// [`Network::take_delivery`].
-    pub fn advance(&mut self, now: SimTime) -> Vec<NodeId> {
-        let mut ready = Vec::new();
+    ///
+    /// The caller owns — and should reuse — the `ready` buffer: the hot
+    /// loop of a port simulation calls this every iteration, and
+    /// re-allocating the list per call was a measurable tax.
+    pub fn advance(&mut self, now: SimTime, ready: &mut Vec<NodeId>) {
+        ready.clear();
         while self.events.peek_time().is_some_and(|t| t <= now) {
             let (t, event) = self.events.pop().expect("peeked");
             match event {
@@ -283,13 +346,30 @@ impl Network {
                     self.handle_arrival(node, port, packet, t);
                 }
                 NetEvent::TryArb { node } => {
-                    self.arbitrate(node, t, &mut ready);
+                    // Skip the scan when this is provably a no-op: the
+                    // node already arbitrated at this exact instant and
+                    // nothing has changed since. At a *later* instant a
+                    // busy link may have freed, so the flag only holds
+                    // within one timestamp. The flag is set before the
+                    // scan: packet movement inside `arbitrate` re-dirties
+                    // the node (via `wake_upstream`), exactly like the
+                    // self-wake events the original kernel relied on.
+                    if !(self.arb_clean[node.index()] && self.last_arb[node.index()] == t) {
+                        self.arb_clean[node.index()] = true;
+                        self.last_arb[node.index()] = t;
+                        self.arbitrate(node, t, ready);
+                    }
                 }
             }
         }
+        // Membership is already unique (structural dedup via
+        // `ready_pending`); the sort stays because callers drain nodes in
+        // ascending order and the drain order is part of the deterministic,
+        // bit-reproducible behavior the result cache depends on.
         ready.sort_unstable();
-        ready.dedup();
-        ready
+        for &node in ready.iter() {
+            self.ready_pending[node.index()] = false;
+        }
     }
 
     /// Pops the oldest deliverable packet at `node` (responses before
@@ -299,7 +379,7 @@ impl Network {
         for vc in VirtualChannel::PRIORITY_ORDER {
             if let Some((packet, arrived_at)) = state.eject[vc.index()].queue.pop_front() {
                 self.stats.delivered.incr();
-                self.events.push(now, NetEvent::TryArb { node });
+                self.request_arb(node, now);
                 return Some(Delivery {
                     node,
                     packet,
@@ -341,7 +421,7 @@ impl Network {
         debug_assert!(buf.reserved > 0, "arrival without reservation");
         buf.reserved -= 1;
         buf.queue.push_back((packet, now));
-        self.events.push(now, NetEvent::TryArb { node });
+        self.request_arb(node, now);
     }
 
     /// Runs arbitration for every output of `node` that can act at `now`.
@@ -356,6 +436,7 @@ impl Network {
     /// Moves packets destined for `node` itself from input buffers into the
     /// ejection buffers (intra-router, no link time).
     fn arbitrate_ejection(&mut self, node: NodeId, now: SimTime, ready: &mut Vec<NodeId>) {
+        let mut candidates = std::mem::take(&mut self.scratch);
         loop {
             let state = &self.nodes[node.index()];
             let eject_output = state.ext_ports; // arbiter index for ejection
@@ -364,7 +445,7 @@ impl Network {
                 if !state.eject[vc.index()].has_space() {
                     continue;
                 }
-                let mut candidates = Vec::new();
+                candidates.clear();
                 for port in 0..state.bufs.len() {
                     if let Some(head) = state.bufs[port][vc.index()].head() {
                         if head.dst == node {
@@ -388,9 +469,14 @@ impl Network {
             let state = &mut self.nodes[node.index()];
             let (packet, _) = state.bufs[port][vc].queue.pop_front().expect("head exists");
             state.eject[vc].queue.push_back((packet, now));
-            ready.push(node);
+            if !self.ready_pending[node.index()] {
+                self.ready_pending[node.index()] = true;
+                ready.push(node);
+            }
             self.wake_upstream(node, port, now);
         }
+        candidates.clear();
+        self.scratch = candidates;
     }
 
     /// Tries to send one packet out of `out_port`; reschedules itself when
@@ -411,8 +497,9 @@ impl Network {
             return;
         }
         // Which port does this link occupy at the neighbor?
-        let neighbor_port = self.port_of_link(neighbor, link);
+        let neighbor_port = self.neighbor_ports[node.index()][out_port];
 
+        let mut candidates = std::mem::take(&mut self.scratch);
         let mut selection: Option<(usize, usize)> = None; // (input port, vc)
         {
             let state = &self.nodes[node.index()];
@@ -421,7 +508,7 @@ impl Network {
                 if !self.nodes[neighbor.index()].bufs[neighbor_port][vc.index()].has_space() {
                     continue;
                 }
-                let mut candidates = Vec::new();
+                candidates.clear();
                 for port in 0..state.bufs.len() {
                     if port == out_port {
                         continue;
@@ -454,6 +541,8 @@ impl Network {
                 }
             }
         }
+        candidates.clear();
+        self.scratch = candidates;
         let Some((in_port, vc)) = selection else {
             return;
         };
@@ -481,10 +570,9 @@ impl Network {
         );
         // Try to use the link again the moment it frees — from both ends
         // when the channel is shared.
-        self.events.push(free_at, NetEvent::TryArb { node });
+        self.request_arb(node, free_at);
         if self.config.duplex == LinkDuplex::Half {
-            self.events
-                .push(free_at, NetEvent::TryArb { node: neighbor });
+            self.request_arb(neighbor, free_at);
         }
         self.wake_upstream(node, in_port, now);
     }
@@ -495,19 +583,23 @@ impl Network {
         let state = &self.nodes[node.index()];
         if port < state.ext_ports {
             let (upstream, _) = self.topo.neighbors(node)[port];
-            self.events.push(now, NetEvent::TryArb { node: upstream });
+            self.request_arb(upstream, now);
         }
         // Local ports are fed by the host core / cube logic, which polls
         // `can_inject` — nothing to wake inside the network.
-        self.events.push(now, NetEvent::TryArb { node });
+        self.request_arb(node, now);
     }
 
-    fn port_of_link(&self, node: NodeId, link: LinkId) -> usize {
-        self.link_ports[node.index()]
-            .iter()
-            .find(|(l, _)| *l == link)
-            .map(|&(_, p)| p)
-            .expect("link attaches to node")
+    /// Total internal events processed since construction — the denominator
+    /// of the kernel's events/sec throughput metric.
+    pub fn events_processed(&self) -> u64 {
+        self.events.events_processed()
+    }
+
+    /// High-water mark of the internal event queue — how large a working
+    /// set the heap had to sustain (coalescing drives this down).
+    pub fn event_queue_peak(&self) -> usize {
+        self.events.peak_len()
     }
 }
 
@@ -529,10 +621,11 @@ mod tests {
     /// Drives the network until quiescent, returning every delivery.
     fn run_to_quiescence(net: &mut Network) -> Vec<Delivery> {
         let mut out = Vec::new();
+        let mut ready = Vec::new();
         let mut now = SimTime::ZERO;
         loop {
-            let ready = net.advance(now);
-            for node in ready {
+            net.advance(now, &mut ready);
+            for &node in &ready {
                 while let Some(d) = net.take_delivery(node, now) {
                     out.push(d);
                 }

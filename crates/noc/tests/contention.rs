@@ -19,9 +19,11 @@ fn chain(n: usize) -> Topology {
 /// arrival times.
 fn drain(net: &mut Network) -> Vec<(NodeId, u64, SimTime)> {
     let mut out = Vec::new();
+    let mut ready = Vec::new();
     let mut now = SimTime::ZERO;
     loop {
-        for node in net.advance(now) {
+        net.advance(now, &mut ready);
+        for &node in &ready {
             while let Some(d) = net.take_delivery(node, now) {
                 out.push((d.node, d.packet.token, d.arrived_at));
             }
@@ -99,6 +101,7 @@ fn backpressure_cascades_upstream_without_loss() {
 
     let mut now = SimTime::ZERO;
     let mut got = Vec::new();
+    let mut ready = Vec::new();
     loop {
         while let Some(pkt) = pending.last() {
             if net.can_inject(topo.host(), 0, pkt) {
@@ -108,7 +111,8 @@ fn backpressure_cascades_upstream_without_loss() {
                 break;
             }
         }
-        for node in net.advance(now) {
+        net.advance(now, &mut ready);
+        for &node in &ready {
             while let Some(d) = net.take_delivery(node, now) {
                 got.push(d.packet.token);
             }
@@ -149,6 +153,7 @@ fn full_duplex_cuts_round_trip_under_bidirectional_load() {
         up.reverse();
         let mut now = SimTime::ZERO;
         let mut last = SimTime::ZERO;
+        let mut ready = Vec::new();
         loop {
             while down
                 .last()
@@ -161,7 +166,8 @@ fn full_duplex_cuts_round_trip_under_bidirectional_load() {
                 let p = up.pop().unwrap();
                 net.inject(far, 0, p, now).unwrap();
             }
-            for node in net.advance(now) {
+            net.advance(now, &mut ready);
+            for &node in &ready {
                 while let Some(d) = net.take_delivery(node, now) {
                     last = last.max(d.arrived_at);
                 }
@@ -267,9 +273,10 @@ fn ejection_buffer_backpressure_holds_packets_in_network() {
     // Run the network without taking deliveries: only one packet fits the
     // ejection buffer; the rest wait in input buffers.
     let mut now = SimTime::ZERO;
+    let mut ready = Vec::new();
     while let Some(t) = net.next_event_time() {
         now = t;
-        let _ = net.advance(now);
+        net.advance(now, &mut ready);
     }
     assert!(net.has_delivery(c1));
     assert_eq!(net.peek_delivery(c1).unwrap().token, 0);
@@ -283,7 +290,7 @@ fn ejection_buffer_backpressure_holds_packets_in_network() {
         match net.next_event_time() {
             Some(t) => {
                 now = t;
-                let _ = net.advance(now);
+                net.advance(now, &mut ready);
             }
             None => break,
         }

@@ -68,6 +68,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    peak: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -78,6 +79,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -88,6 +90,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -106,6 +109,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, advancing the queue's clock.
@@ -140,6 +144,13 @@ impl<E> EventQueue<E> {
     /// Total number of events popped since construction.
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// The largest number of events simultaneously pending since
+    /// construction — the working-set size the underlying heap had to
+    /// sustain. Event-coalescing optimizations drive this down.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -229,6 +240,20 @@ mod tests {
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 5);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.push(SimTime::from_ns(1), ());
+        q.push(SimTime::from_ns(2), ());
+        q.pop();
+        q.push(SimTime::from_ns(3), ());
+        // Never more than 2 pending at once.
+        assert_eq!(q.peak_len(), 2);
+        while q.pop().is_some() {}
+        assert_eq!(q.peak_len(), 2);
     }
 
     #[test]

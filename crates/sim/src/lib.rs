@@ -37,10 +37,12 @@
 
 mod event;
 mod rng;
+mod slab;
 mod stats;
 mod time;
 
 pub use event::{EventQueue, Scheduled};
 pub use rng::SimRng;
+pub use slab::SeqSlab;
 pub use stats::{Accumulator, Counter, Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};

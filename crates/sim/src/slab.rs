@@ -1,0 +1,223 @@
+//! A slab for values keyed by sequentially issued `u64` identifiers.
+//!
+//! Discrete-event simulators hand out monotonically increasing tokens
+//! (packet ids, burst ids, transaction tags) and look the associated state
+//! up on every completion. A `HashMap<u64, T>` pays hashing and probing on
+//! the hottest path of the simulation for keys that are, by construction,
+//! dense and ascending. [`SeqSlab`] exploits that structure: storage is a
+//! ring of slots offset by the lowest live key, so insert/get/remove are
+//! array indexing, and memory stays proportional to the *live* key window
+//! (the in-flight requests), not the total ever issued.
+
+use std::collections::VecDeque;
+
+/// A map from sequentially issued `u64` keys to values, backed by a ring
+/// buffer over the live key window.
+///
+/// Keys must be inserted in strictly increasing order (gaps are fine); any
+/// key may be removed at any time. The ring's base advances as the oldest
+/// keys are removed, so steady-state operation allocates nothing.
+///
+/// # Example
+///
+/// ```
+/// use mn_sim::SeqSlab;
+///
+/// let mut slab = SeqSlab::new();
+/// slab.insert(10, "a");
+/// slab.insert(11, "b");
+/// assert_eq!(slab.get(10), Some(&"a"));
+/// assert_eq!(slab.remove(10), Some("a"));
+/// assert_eq!(slab.get(10), None);
+/// assert_eq!(slab.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqSlab<T> {
+    /// Key of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<T>>,
+    live: usize,
+}
+
+impl<T> SeqSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> SeqSlab<T> {
+        SeqSlab {
+            base: 0,
+            slots: VecDeque::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `capacity` concurrently live
+    /// keys before reallocating.
+    pub fn with_capacity(capacity: usize) -> SeqSlab<T> {
+        SeqSlab {
+            base: 0,
+            slots: VecDeque::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts `value` under `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not larger than every previously inserted key —
+    /// sequential issue is the contract that makes the slab an array.
+    pub fn insert(&mut self, key: u64, value: T) {
+        if self.slots.is_empty() {
+            self.base = key;
+        }
+        let idx = key
+            .checked_sub(self.base)
+            .unwrap_or_else(|| panic!("key {key} issued out of order (base {})", self.base));
+        let idx = usize::try_from(idx).expect("key window exceeds addressable memory");
+        assert!(
+            idx >= self.slots.len(),
+            "key {key} issued out of order (next free {})",
+            self.base + self.slots.len() as u64
+        );
+        while self.slots.len() < idx {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(value));
+        self.live += 1;
+    }
+
+    /// The value under `key`, if live.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let idx = usize::try_from(key.checked_sub(self.base)?).ok()?;
+        self.slots.get(idx)?.as_ref()
+    }
+
+    /// Mutable access to the value under `key`, if live.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let idx = usize::try_from(key.checked_sub(self.base)?).ok()?;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    /// Removes and returns the value under `key`, advancing the ring past
+    /// any leading dead slots.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let idx = usize::try_from(key.checked_sub(self.base)?).ok()?;
+        let value = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.slots.is_empty() {
+            self.base = 0;
+        }
+        Some(value)
+    }
+
+    /// The number of slots currently held (live window size), for
+    /// diagnostics and capacity tests.
+    pub fn window(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Default for SeqSlab<T> {
+    fn default() -> Self {
+        SeqSlab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = SeqSlab::new();
+        assert!(s.is_empty());
+        for k in 0..10u64 {
+            s.insert(k, k * 2);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.get(7), Some(&14));
+        assert_eq!(s.get_mut(7).map(|v| std::mem::replace(v, 0)), Some(14));
+        assert_eq!(s.get(7), Some(&0));
+        assert_eq!(s.remove(7), Some(0));
+        assert_eq!(s.get(7), None);
+        assert_eq!(s.remove(7), None);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn out_of_order_removal_advances_base_lazily() {
+        let mut s = SeqSlab::new();
+        for k in 0..4u64 {
+            s.insert(k, k);
+        }
+        // Remove from the middle first: the window cannot shrink yet.
+        s.remove(1);
+        s.remove(2);
+        assert_eq!(s.window(), 4);
+        // Removing the head releases the whole dead prefix.
+        s.remove(0);
+        assert_eq!(s.window(), 1);
+        assert_eq!(s.get(3), Some(&3));
+        s.remove(3);
+        assert!(s.is_empty());
+        assert_eq!(s.window(), 0);
+    }
+
+    #[test]
+    fn survives_emptying_and_reuse() {
+        let mut s = SeqSlab::new();
+        s.insert(5, 'a');
+        assert_eq!(s.remove(5), Some('a'));
+        // Fully drained: any larger starting key is accepted again.
+        s.insert(100, 'b');
+        assert_eq!(s.get(100), Some(&'b'));
+        assert_eq!(s.get(5), None);
+        assert_eq!(s.get(99), None);
+    }
+
+    #[test]
+    fn gaps_between_keys_are_dead_slots() {
+        let mut s = SeqSlab::new();
+        s.insert(0, 0);
+        s.insert(5, 5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.remove(3), None);
+        assert_eq!(s.remove(0), Some(0));
+        assert_eq!(s.window(), 1);
+    }
+
+    #[test]
+    fn steady_state_window_stays_small() {
+        let mut s = SeqSlab::with_capacity(8);
+        for k in 0..10_000u64 {
+            s.insert(k, k);
+            if k >= 4 {
+                assert_eq!(s.remove(k - 4), Some(k - 4));
+            }
+        }
+        assert_eq!(s.len(), 4);
+        assert!(s.window() <= 5, "window {}", s.window());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_non_monotonic_keys() {
+        let mut s = SeqSlab::new();
+        s.insert(4, ());
+        s.insert(3, ());
+    }
+}

@@ -47,6 +47,7 @@ fn main() {
         let mut hop_sum = 0u64;
         let mut last = SimTime::ZERO;
         let mut deadlocked = false;
+        let mut ready = Vec::new();
         loop {
             while let Some((src, pkt)) = flows.last() {
                 // Spread injections across the cube's four quadrant ports.
@@ -58,7 +59,8 @@ fn main() {
                     break;
                 }
             }
-            for node in net.advance(now) {
+            net.advance(now, &mut ready);
+            for &node in &ready {
                 while let Some(d) = net.take_delivery(node, now) {
                     delivered += 1;
                     hop_sum += u64::from(d.packet.hops());

@@ -226,6 +226,7 @@ fn network_conserves_packets() {
             })
             .collect();
         let mut delivered = std::collections::HashSet::new();
+        let mut ready = Vec::new();
         loop {
             while let Some(pkt) = pending.front() {
                 if net.can_inject(topo.host(), 0, pkt) {
@@ -235,7 +236,8 @@ fn network_conserves_packets() {
                     break;
                 }
             }
-            for node in net.advance(now) {
+            net.advance(now, &mut ready);
+            for &node in &ready {
                 while let Some(d) = net.take_delivery(node, now) {
                     assert!(
                         delivered.insert(d.packet.token),
