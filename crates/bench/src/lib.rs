@@ -14,6 +14,9 @@
 //! - `MN_SEED` — RNG seed (default the configs' built-in seed),
 //! - `MN_JOBS` — campaign worker threads (default: available parallelism),
 //! - `MN_CACHE_DIR` / `MN_CACHE=off` — result-cache location / disable,
+//! - `MN_FAULT_RATE` — per-traversal transient-CRC probability (default 0:
+//!   fault injection off; enabling it changes the result fingerprints),
+//! - `MN_FAULT_SEED` — fault-schedule seed (default 0),
 //! - `--format text|json|csv` — append per-point records to the tables.
 //!
 //! Malformed values are reported on stderr and the default applies.
@@ -24,10 +27,11 @@
 use std::collections::HashMap;
 
 use mn_campaign::{
-    env_parse, write_point_records, Campaign, CampaignPoint, OutputFormat, PointOutcome,
+    env_parse, fault_rate_from_env, fault_seed_from_env, write_point_records, Campaign,
+    CampaignPoint, OutputFormat, PointOutcome,
 };
 use mn_core::{mix_grid, speedup_pct, MixSpec, RunResult, SystemConfig};
-use mn_noc::ArbiterKind;
+use mn_noc::{ArbiterKind, FaultConfig};
 use mn_sim::SimTime;
 use mn_topo::{NvmPlacement, TopologyKind};
 use mn_workloads::Workload;
@@ -42,11 +46,19 @@ pub fn seed_override() -> Option<u64> {
     env_parse("MN_SEED")
 }
 
-/// Applies the harness environment knobs to a config.
+/// Applies the harness environment knobs to a config. With `MN_FAULT_RATE`
+/// unset (the default), fault injection stays disabled and results remain
+/// on the committed-golden fingerprints.
 pub fn tune(mut config: SystemConfig) -> SystemConfig {
     config.requests_per_port = requests_per_port();
     if let Some(seed) = seed_override() {
         config.seed = seed;
+    }
+    if let Some(rate) = fault_rate_from_env() {
+        config.noc.fault.transient_rate = rate;
+    }
+    if let Some(seed) = fault_seed_from_env() {
+        config.noc.fault.seed = seed;
     }
     config
 }
@@ -166,11 +178,37 @@ impl Harness {
 
     /// Runs a grid of points through the engine; results come back in
     /// submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics — naming the failing point and its error — if any point
+    /// failed. The figure binaries need complete grids to render their
+    /// tables; sweeps that expect failures (e.g. `fault_sweep`, where a
+    /// killed link may partition a chain) use
+    /// [`Harness::run_grid_outcomes`] instead.
     pub fn run_grid(&mut self, points: Vec<CampaignPoint>) -> Vec<RunResult> {
-        let outcome = self.campaign.run(points);
-        let results: Vec<RunResult> = outcome.outcomes.iter().map(|o| o.result.clone()).collect();
-        self.outcomes.extend(outcome.outcomes);
+        let results: Vec<RunResult> = self
+            .run_grid_outcomes(points)
+            .iter()
+            .map(|o| match &o.result {
+                Ok(result) => result.clone(),
+                Err(e) => panic!(
+                    "campaign point {} / {} failed: {e}",
+                    o.point.config.label(),
+                    o.point.workload.label()
+                ),
+            })
+            .collect();
         results
+    }
+
+    /// Runs a grid and returns the full per-point outcomes, failures
+    /// included: a point whose fault schedule breaks its topology comes
+    /// back as an error record while the rest of the grid completes.
+    pub fn run_grid_outcomes(&mut self, points: Vec<CampaignPoint>) -> Vec<PointOutcome> {
+        let outcome = self.campaign.run(points);
+        self.outcomes.extend(outcome.outcomes.iter().cloned());
+        outcome.outcomes
     }
 
     /// Runs `configs` x `workloads` (plus the shared `100%-C` baseline per
@@ -369,6 +407,92 @@ pub fn render_speedup_table(title: &str, rows: &[SpeedupRow]) -> String {
         let _ = write!(out, " {:>+15.1}%", sum / rows.len() as f64);
     }
     let _ = writeln!(out);
+    out
+}
+
+/// The fault-schedule seed the sweep pins, so the committed
+/// `results/fault_sweep.txt` regenerates deterministically.
+pub const FAULT_SWEEP_SEED: u64 = 0xFA01;
+
+/// The scenarios the `fault_sweep` binary drives through every topology: a
+/// healthy reference, escalating transient-CRC rates, lane degradation,
+/// and hard link kills, all on the pinned [`FAULT_SWEEP_SEED`].
+pub fn fault_scenarios() -> Vec<(&'static str, FaultConfig)> {
+    let with = |f: fn(&mut FaultConfig)| {
+        let mut config = FaultConfig::none();
+        config.seed = FAULT_SWEEP_SEED;
+        f(&mut config);
+        config
+    };
+    vec![
+        // All rates zero: fault injection disabled, so this row shares
+        // fingerprints (and cache entries) with the paper figures.
+        ("healthy", FaultConfig::none()),
+        ("tr=1e-4", with(|c| c.transient_rate = 1e-4)),
+        ("tr=1e-3", with(|c| c.transient_rate = 1e-3)),
+        ("tr=1e-2", with(|c| c.transient_rate = 1e-2)),
+        ("degrade=10%", with(|c| c.degrade_rate = 0.10)),
+        ("kill=8%", with(|c| c.link_kill_rate = 0.08)),
+    ]
+}
+
+/// Runs the fault sweep (every topology x [`fault_scenarios`], all-DRAM,
+/// NW workload) and renders the sensitivity table — exactly the
+/// `fault_sweep` binary's stdout. Points whose fault schedule breaks their
+/// topology (a killed link partitions the chain) come back as `ERROR` rows
+/// instead of aborting the sweep.
+pub fn fault_sweep_report(harness: &mut Harness) -> String {
+    use std::fmt::Write as _;
+    let scenarios = fault_scenarios();
+    let mut points = Vec::new();
+    for topo in TopologyKind::ALL {
+        for (_, fault) in &scenarios {
+            let mut config = config_for(topo, 1.0, NvmPlacement::Last);
+            config.noc.fault = fault.clone();
+            points.push(CampaignPoint::new(config, Workload::Nw));
+        }
+    }
+    let outcomes = harness.run_grid_outcomes(points);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fault sweep: wall-time sensitivity to link faults (all-DRAM, NW) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<12} {:>14} {:>12}",
+        "topo", "scenario", "wall(ns)", "vs healthy"
+    );
+    for (t, topo) in TopologyKind::ALL.into_iter().enumerate() {
+        let row = &outcomes[t * scenarios.len()..(t + 1) * scenarios.len()];
+        let healthy_wall = row[0].result.as_ref().ok().map(|r| r.wall);
+        for ((name, _), outcome) in scenarios.iter().zip(row) {
+            match &outcome.result {
+                Ok(result) => {
+                    let delta = healthy_wall
+                        .map(|base| format!("{:>+11.1}%", speedup_pct(base, result.wall)))
+                        .unwrap_or_else(|| format!("{:>12}", "n/a"));
+                    let _ = writeln!(
+                        out,
+                        "{:<6} {:<12} {:>14.1} {delta}",
+                        topo.label(),
+                        name,
+                        result.wall.as_ns_f64(),
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<6} {:<12} {:>14} ERROR: {e}",
+                        topo.label(),
+                        name,
+                        "-",
+                    );
+                }
+            }
+        }
+    }
     out
 }
 

@@ -28,10 +28,13 @@ fn committed_cache() -> DiskCache {
 const FIG05_GOLDEN: &str = include_str!("../../../results/fig05.txt");
 const FIG10_GOLDEN: &str = include_str!("../../../results/fig10.txt");
 
-/// The environment knobs (`MN_REQUESTS`, `MN_SEED`) resize every figure
-/// grid; the goldens were produced with the defaults.
+/// The environment knobs (`MN_REQUESTS`, `MN_SEED`, and the fault
+/// overrides) reshape every figure grid; the goldens were produced with
+/// the defaults (and with fault injection off).
 fn env_is_default() -> bool {
-    std::env::var_os("MN_REQUESTS").is_none() && std::env::var_os("MN_SEED").is_none()
+    ["MN_REQUESTS", "MN_SEED", "MN_FAULT_RATE", "MN_FAULT_SEED"]
+        .iter()
+        .all(|knob| std::env::var_os(knob).is_none())
 }
 
 #[test]

@@ -13,15 +13,18 @@
 //! Each file stores a version header, the full fingerprint, and the
 //! exactly-encoded result. Loads re-verify both the header and the
 //! fingerprint, so version skew or a hash collision degrades to a cache
-//! miss instead of a wrong result. Stores write to a temporary sibling and
-//! `rename` into place, which keeps concurrent writers (parallel workers,
-//! or two figure binaries sharing the chain baseline) from ever exposing a
-//! torn file.
+//! miss instead of a wrong result. An entry that is actually *corrupt* —
+//! bad header or undecodable body — is quarantined: renamed to
+//! `<key>.corrupt` (with a once-per-process warning) so it stops
+//! masquerading as a miss on every run and stays on disk for diagnosis.
+//! Stores write to a temporary sibling and `rename` into place, which
+//! keeps concurrent writers (parallel workers, or two figure binaries
+//! sharing the chain baseline) from ever exposing a torn file.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use mn_core::RunResult;
 
@@ -73,18 +76,56 @@ impl DiskCache {
     }
 
     /// Loads the finished result for `point`, or `None` on a miss (absent,
-    /// corrupt, version-skewed, or fingerprint-mismatched entry).
+    /// corrupt, version-skewed, or fingerprint-mismatched entry). Corrupt
+    /// entries are quarantined to `<key>.corrupt` on the way out.
     pub fn load(&self, point: &CampaignPoint) -> Option<RunResult> {
-        let text = fs::read_to_string(self.entry_path(point)).ok()?;
+        let path = self.entry_path(point);
+        let text = fs::read_to_string(&path).ok()?;
         let mut lines = text.splitn(3, '\n');
-        if lines.next()? != HEADER {
+        if lines.next() != Some(HEADER) {
+            self.quarantine(&path, "unrecognized header");
             return None;
         }
-        let key_line = lines.next()?;
-        if key_line.strip_prefix("key=")? != point.fingerprint() {
+        let Some(fingerprint) = lines.next().and_then(|l| l.strip_prefix("key=")) else {
+            self.quarantine(&path, "missing fingerprint line");
+            return None;
+        };
+        if fingerprint != point.fingerprint() {
+            // A well-formed entry for a *different* point sharing this
+            // FNV key: a hash collision, which is a legitimate miss — the
+            // entry is some other point's valid result, not corruption.
             return None;
         }
-        decode_result(lines.next()?)
+        match lines.next().and_then(decode_result) {
+            Some(result) => Some(result),
+            None => {
+                self.quarantine(&path, "undecodable body");
+                None
+            }
+        }
+    }
+
+    /// Renames a corrupt entry to `<key>.corrupt` so the next run misses
+    /// cleanly (no re-read, no re-warn) and the bytes survive for
+    /// inspection. Warns once per process; repeat corruption is almost
+    /// always one underlying cause (disk damage, version-skewed writer).
+    fn quarantine(&self, path: &Path, why: &str) {
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        let dest = path.with_extension("corrupt");
+        let renamed = fs::rename(path, &dest);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            match renamed {
+                Ok(()) => eprintln!(
+                    "warning: quarantined corrupt cache entry ({why}): {} -> {}",
+                    path.display(),
+                    dest.display()
+                ),
+                Err(err) => eprintln!(
+                    "warning: corrupt cache entry ({why}) at {} could not be quarantined: {err}",
+                    path.display()
+                ),
+            }
+        }
     }
 
     /// Stores a finished result atomically (write-to-temp + rename).
@@ -165,6 +206,58 @@ mod tests {
         let path = cache.entry_path(&point);
         fs::write(&path, "mncampaign-cache v0\ngarbage").unwrap();
         assert!(cache.load(&point).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_reread() {
+        let dir = scratch_dir("quarantine");
+        let cache = DiskCache::new(&dir);
+        let point = tiny_point();
+        let result = mn_core::simulate(&point.config, point.workload);
+
+        // Truncated body: valid header + fingerprint, undecodable payload.
+        cache.store(&point, &result).unwrap();
+        let path = cache.entry_path(&point);
+        fs::write(
+            &path,
+            format!("{HEADER}\nkey={}\nnot-a-result", point.fingerprint()),
+        )
+        .unwrap();
+        assert!(cache.load(&point).is_none());
+        assert!(!path.exists(), "corrupt entry should have been moved");
+        assert!(path.with_extension("corrupt").exists());
+
+        // The quarantined name never collides with a fresh store: the
+        // point re-simulates and caches cleanly next to the evidence.
+        cache.store(&point, &result).unwrap();
+        assert!(cache.load(&point).is_some());
+        assert!(path.with_extension("corrupt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_collisions_are_plain_misses() {
+        let dir = scratch_dir("collision");
+        let cache = DiskCache::new(&dir);
+        let point = tiny_point();
+        let result = mn_core::simulate(&point.config, point.workload);
+        cache.store(&point, &result).unwrap();
+
+        // Simulate an FNV collision: a well-formed entry whose fingerprint
+        // belongs to a different point. That entry is someone's valid
+        // result — it must stay in place, not be quarantined.
+        let path = cache.entry_path(&point);
+        fs::write(
+            &path,
+            format!("{HEADER}\nkey=some-other-fingerprint\n{}", {
+                crate::codec::encode_result(&result)
+            }),
+        )
+        .unwrap();
+        assert!(cache.load(&point).is_none());
+        assert!(path.exists(), "collision entry must not be quarantined");
+        assert!(!path.with_extension("corrupt").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

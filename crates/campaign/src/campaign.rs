@@ -24,10 +24,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use mn_core::{merge_port_observations, port_count, simulate_port, PortObservation, RunResult};
+use mn_core::{merge_port_observations, port_count, try_simulate_port, PortObservation, RunResult};
 
 use crate::cache::{cache_disabled_by_env, default_cache_dir, DiskCache};
 use crate::env::jobs_from_env;
+use crate::error::CampaignError;
 use crate::point::CampaignPoint;
 use crate::report::{CampaignSummary, Progress};
 
@@ -36,8 +37,10 @@ use crate::report::{CampaignSummary, Progress};
 pub struct PointOutcome {
     /// The point that was executed.
     pub point: CampaignPoint,
-    /// Its simulation result (fresh or loaded from cache).
-    pub result: RunResult,
+    /// Its simulation result (fresh or loaded from cache), or why this
+    /// point has none. A failed point never aborts the grid: the other
+    /// points complete and the error travels with its point.
+    pub result: Result<RunResult, CampaignError>,
     /// True when the result came from the on-disk cache.
     pub cached: bool,
     /// Host wall-clock spent obtaining this result (near zero for cache
@@ -56,7 +59,30 @@ pub struct CampaignOutcome {
 
 impl CampaignOutcome {
     /// Just the results, in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failing point's label, workload, and error if any
+    /// point failed — the figure binaries expect complete grids; use
+    /// [`CampaignOutcome::try_into_results`] (or inspect `outcomes`
+    /// directly) when failures are expected.
     pub fn into_results(self) -> Vec<RunResult> {
+        self.outcomes
+            .into_iter()
+            .map(|o| {
+                o.result.unwrap_or_else(|e| {
+                    panic!(
+                        "campaign point {} / {} failed: {e}",
+                        o.point.config.label(),
+                        o.point.workload.label()
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// The results in submission order, or the first point failure.
+    pub fn try_into_results(self) -> Result<Vec<RunResult>, CampaignError> {
         self.outcomes.into_iter().map(|o| o.result).collect()
     }
 }
@@ -117,6 +143,12 @@ impl Campaign {
 
     /// Runs every point and returns outcomes in submission order.
     ///
+    /// Simulation failures (a fault schedule that partitions a topology, a
+    /// stalled port) are confined to their point: the affected
+    /// [`PointOutcome`] carries the [`CampaignError`] and every other
+    /// point still completes. Failed points are never written to the
+    /// cache, so a later run retries them.
+    ///
     /// # Panics
     ///
     /// Panics if a point's configuration is invalid (as `simulate` does) or
@@ -141,14 +173,15 @@ impl Campaign {
 
         // Probe the cache up front (cheap, I/O-bound) so only the misses
         // are fanned out to the workers.
-        let mut slots: Vec<Option<(RunResult, bool, Duration)>> = vec![None; unique.len()];
+        type Slot = (Result<RunResult, CampaignError>, bool, Duration);
+        let mut slots: Vec<Option<Slot>> = vec![None; unique.len()];
         let mut misses: Vec<usize> = Vec::new();
         if let Some(cache) = &self.cache {
             for (i, point) in unique.iter().enumerate() {
                 let start = Instant::now();
                 if let Some(result) = cache.load(point) {
                     progress.tick(true);
-                    slots[i] = Some((result, true, start.elapsed()));
+                    slots[i] = Some((Ok(result), true, start.elapsed()));
                 } else {
                     misses.push(i);
                 }
@@ -183,7 +216,7 @@ impl Campaign {
                     };
                     let point = unique[i];
                     let start = Instant::now();
-                    let obs = simulate_port(&point.config, point.workload, port);
+                    let obs = try_simulate_port(&point.config, point.workload, port);
                     if tx.send((j, obs, start.elapsed())).is_err() {
                         break;
                     }
@@ -202,54 +235,99 @@ impl Campaign {
                 .collect();
             while let Ok((j, obs, host)) = rx.recv() {
                 let (i, port) = port_jobs[j];
-                let entry = gathering.get_mut(&i).expect("job belongs to a miss");
-                entry.0[port as usize] = Some(obs);
+                // A sibling port of an already-failed point: its entry was
+                // removed when the first error was recorded, and the
+                // observation is discarded.
+                let Some(entry) = gathering.get_mut(&i) else {
+                    continue;
+                };
                 entry.1 += host;
-                if entry.0.iter().all(Option::is_some) {
-                    let (observations, host) = gathering.remove(&i).expect("present");
-                    let point = unique[i];
-                    let result = merge_port_observations(
-                        &point.config,
-                        point.workload,
-                        observations
-                            .into_iter()
-                            .map(|o| o.expect("all ports landed")),
-                    );
-                    if let Some(cache) = &self.cache {
-                        if let Err(err) = cache.store(point, &result) {
-                            eprintln!(
-                                "warning: could not cache result in {}: {err}",
-                                cache.dir().display()
+                match obs {
+                    Ok(obs) => {
+                        entry.0[port as usize] = Some(obs);
+                        if entry.0.iter().all(Option::is_some) {
+                            let (observations, host) = gathering.remove(&i).expect("present");
+                            let point = unique[i];
+                            let result = merge_port_observations(
+                                &point.config,
+                                point.workload,
+                                observations.into_iter().flatten(),
                             );
+                            if let Some(cache) = &self.cache {
+                                if let Err(err) = cache.store(point, &result) {
+                                    eprintln!(
+                                        "warning: could not cache result in {}: {err}",
+                                        cache.dir().display()
+                                    );
+                                }
+                            }
+                            progress.tick(false);
+                            slots[i] = Some((Ok(result), false, host));
                         }
                     }
-                    progress.tick(false);
-                    slots[i] = Some((result, false, host));
+                    Err(error) => {
+                        let (_, host) = gathering.remove(&i).expect("present");
+                        progress.tick(false);
+                        slots[i] = Some((Err(CampaignError::Sim { port, error }), false, host));
+                    }
                 }
+            }
+
+            // The channel closed with points still gathering: a worker
+            // died without delivering its jobs. Report each such point as
+            // lost instead of panicking away the rest of the grid.
+            for (i, (observations, host)) in gathering {
+                let landed = observations.iter().filter(|o| o.is_some()).count();
+                let expected = observations.len();
+                progress.tick(false);
+                slots[i] = Some((
+                    Err(CampaignError::LostWorker { landed, expected }),
+                    false,
+                    host,
+                ));
             }
         });
 
         let cache_hits = slots.iter().flatten().filter(|(_, hit, _)| *hit).count();
+        let failed = slots.iter().flatten().filter(|(r, ..)| r.is_err()).count();
         let fresh_requests = slots
             .iter()
             .flatten()
             .filter(|(_, hit, _)| !hit)
-            .map(|(r, ..)| r.reads + r.writes)
+            .filter_map(|(r, ..)| r.as_ref().ok())
+            .map(|r| r.reads + r.writes)
             .sum();
         let summary = CampaignSummary {
             total,
             unique: unique.len(),
             cache_hits,
             fresh: unique.len() - cache_hits,
+            failed,
             jobs,
             host_wall: progress.started().elapsed(),
             fresh_requests,
         };
         progress.finish(&summary);
 
-        let executed: Vec<(RunResult, bool, Duration)> = slots
+        let executed: Vec<Slot> = slots
             .into_iter()
-            .map(|s| s.expect("all points ran"))
+            .enumerate()
+            .map(|(i, s)| {
+                // Unreachable when the scope above ran to completion, but a
+                // lost slot must degrade to a diagnosable record, not a
+                // panic that discards the finished points.
+                s.unwrap_or_else(|| {
+                    let expected = port_count(&unique[i].config) as usize;
+                    (
+                        Err(CampaignError::LostWorker {
+                            landed: 0,
+                            expected,
+                        }),
+                        false,
+                        Duration::ZERO,
+                    )
+                })
+            })
             .collect();
         let outcomes = points
             .into_iter()
@@ -296,7 +374,7 @@ mod tests {
         let labels: Vec<&str> = outcome
             .outcomes
             .iter()
-            .map(|o| o.result.label.as_str())
+            .map(|o| o.result.as_ref().unwrap().label.as_str())
             .collect();
         assert_eq!(labels, ["100%-C", "100%-T", "100%-R"]);
     }
@@ -311,7 +389,11 @@ mod tests {
         let outcome = Campaign::new(3).quiet().run(points);
         assert_eq!(outcome.summary.total, 3);
         assert_eq!(outcome.summary.unique, 1);
-        let walls: Vec<_> = outcome.outcomes.iter().map(|o| o.result.wall).collect();
+        let walls: Vec<_> = outcome
+            .outcomes
+            .iter()
+            .map(|o| o.result.as_ref().unwrap().wall)
+            .collect();
         assert_eq!(walls[0], walls[1]);
         assert_eq!(walls[1], walls[2]);
     }
@@ -322,5 +404,73 @@ mod tests {
         assert!(outcome.outcomes.is_empty());
         assert_eq!(outcome.summary.total, 0);
         assert_eq!(outcome.summary.sim_throughput_per_sec(), 0.0);
+    }
+
+    /// A point whose fault schedule partitions its chain. Every chain link
+    /// is load-bearing, so any killed link severs the topology; a high
+    /// kill rate makes the first seeds near-certain to do so.
+    fn partitioned(seed: u64) -> CampaignPoint {
+        let mut point = tiny(TopologyKind::Chain, seed);
+        point.config.noc.fault.link_kill_rate = 0.9;
+        point.config.noc.fault.seed = (0..64)
+            .find(|&s| {
+                let mut probe = point.clone();
+                probe.config.noc.fault.seed = s;
+                mn_core::try_simulate_port(&probe.config, probe.workload, 0).is_err()
+            })
+            .expect("some fault seed kills a chain link");
+        point
+    }
+
+    #[test]
+    fn a_failed_point_does_not_sink_the_grid() {
+        let points = vec![
+            tiny(TopologyKind::Tree, 11),
+            partitioned(12),
+            tiny(TopologyKind::Ring, 13),
+        ];
+        let outcome = Campaign::new(2).quiet().run(points);
+        assert_eq!(outcome.summary.total, 3);
+        assert_eq!(outcome.summary.failed, 1);
+        assert!(outcome.outcomes[0].result.is_ok());
+        assert!(matches!(
+            outcome.outcomes[1].result,
+            Err(CampaignError::Sim { .. })
+        ));
+        assert!(outcome.outcomes[2].result.is_ok());
+        assert!(outcome.try_into_results().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn into_results_panics_diagnosably_on_failure() {
+        let outcome = Campaign::new(1).quiet().run(vec![partitioned(21)]);
+        let _ = outcome.into_results();
+    }
+
+    #[test]
+    fn failed_points_are_not_cached() {
+        let dir = std::env::temp_dir().join(format!(
+            "mn-campaign-fail-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |seed| {
+            Campaign::new(1)
+                .cache_dir(&dir)
+                .quiet()
+                .run(vec![partitioned(seed), tiny(TopologyKind::Tree, 31)])
+        };
+        let first = run(30);
+        assert_eq!(first.summary.failed, 1);
+        assert_eq!(first.summary.cache_hits, 0);
+        // Second run: the healthy point is served from cache, the failed
+        // point is retried (and fails again) rather than being served a
+        // poisoned entry.
+        let second = run(30);
+        assert_eq!(second.summary.cache_hits, 1);
+        assert_eq!(second.summary.failed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -56,6 +56,33 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Fault-injection transient-CRC rate override: `MN_FAULT_RATE`, a
+/// probability in `[0, 1]` applied per link traversal. Out-of-range or
+/// non-finite values warn (once) and are ignored, like a malformed one.
+pub fn fault_rate_from_env() -> Option<f64> {
+    let rate: f64 = env_parse("MN_FAULT_RATE")?;
+    if rate.is_finite() && (0.0..=1.0).contains(&rate) {
+        Some(rate)
+    } else {
+        let mut warned = WARNED.lock().unwrap();
+        if warned
+            .get_or_insert_with(HashSet::new)
+            .insert("MN_FAULT_RATE".to_string())
+        {
+            eprintln!("warning: ignoring MN_FAULT_RATE={rate} (need a probability in [0, 1])");
+        }
+        None
+    }
+}
+
+/// Fault-schedule seed override: `MN_FAULT_SEED`. The seed feeds the
+/// fault model's private RNG stream (and, when faults are enabled, the
+/// result fingerprint), so rerunning with the same seed replays the same
+/// link kills, degradations, and transient errors.
+pub fn fault_seed_from_env() -> Option<u64> {
+    env_parse("MN_FAULT_SEED")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +103,24 @@ mod tests {
 
         std::env::remove_var(name);
         assert!(jobs_from_env() >= 1);
+
+        // Fault knobs, same single-test discipline. The unset case must
+        // not engage fault injection at all.
+        std::env::remove_var("MN_FAULT_RATE");
+        std::env::remove_var("MN_FAULT_SEED");
+        assert_eq!(fault_rate_from_env(), None);
+        assert_eq!(fault_seed_from_env(), None);
+
+        std::env::set_var("MN_FAULT_RATE", "0.05");
+        assert_eq!(fault_rate_from_env(), Some(0.05));
+        std::env::set_var("MN_FAULT_RATE", "1.5");
+        assert_eq!(fault_rate_from_env(), None); // out of range: warned
+        std::env::set_var("MN_FAULT_RATE", "NaN");
+        assert_eq!(fault_rate_from_env(), None);
+        std::env::remove_var("MN_FAULT_RATE");
+
+        std::env::set_var("MN_FAULT_SEED", "42");
+        assert_eq!(fault_seed_from_env(), Some(42));
+        std::env::remove_var("MN_FAULT_SEED");
     }
 }

@@ -1,0 +1,82 @@
+//! Campaign-level failures: one grid point failing must be a diagnosable
+//! record, not a dead worker pool.
+
+use std::error::Error;
+use std::fmt;
+
+use mn_core::SimError;
+
+/// Why one campaign point has no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// A port simulation of the point failed (partitioned network,
+    /// stalled driver). The other points of the grid are unaffected.
+    Sim {
+        /// Which port failed first.
+        port: u32,
+        /// The structured simulation failure.
+        error: SimError,
+    },
+    /// A worker disappeared before every port observation landed — the
+    /// channel closed with the point incomplete. This is a scheduler or
+    /// environment defect (a killed thread, not a simulation outcome),
+    /// reported per point so the rest of the grid still completes.
+    LostWorker {
+        /// Port observations that did arrive.
+        landed: usize,
+        /// Port observations the point needed.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Sim { port, error } => write!(f, "port {port}: {error}"),
+            CampaignError::LostWorker { landed, expected } => write!(
+                f,
+                "worker lost: {landed} of {expected} port observations landed"
+            ),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Sim { error, .. } => Some(error),
+            CampaignError::LostWorker { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_topo::NodeId;
+
+    #[test]
+    fn sim_error_display_names_the_port() {
+        let e = CampaignError::Sim {
+            port: 3,
+            error: SimError::Partitioned {
+                unreachable: vec![NodeId(2)],
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("port 3:"), "{msg}");
+        assert!(msg.contains("partitioned"), "{msg}");
+    }
+
+    #[test]
+    fn lost_worker_display_counts() {
+        let e = CampaignError::LostWorker {
+            landed: 2,
+            expected: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker lost: 2 of 8 port observations landed"
+        );
+    }
+}

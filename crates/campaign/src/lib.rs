@@ -50,13 +50,15 @@ mod cache;
 mod campaign;
 pub mod codec;
 mod env;
+mod error;
 mod point;
 mod report;
 pub mod sink;
 
 pub use cache::{cache_disabled_by_env, default_cache_dir, DiskCache};
 pub use campaign::{Campaign, CampaignOutcome, PointOutcome};
-pub use env::{env_parse, jobs_from_env};
+pub use env::{env_parse, fault_rate_from_env, fault_seed_from_env, jobs_from_env};
+pub use error::CampaignError;
 pub use point::{CampaignPoint, SIM_VERSION};
 pub use report::CampaignSummary;
 pub use sink::{write_point_records, write_records, OutputFormat, Record, Value};

@@ -9,7 +9,7 @@
 //! scheduler both key on that fingerprint.
 
 use mn_core::SystemConfig;
-use mn_noc::{LinkTiming, NocConfig};
+use mn_noc::{FaultConfig, LinkTiming, NocConfig};
 use mn_workloads::Workload;
 
 /// Simulator behavior version. Bump whenever any crate changes what
@@ -59,6 +59,10 @@ impl CampaignPoint {
             simulated_ports,
             reference_ports,
             seed,
+            // The watchdog only decides how a broken run *fails* (error
+            // vs. hang); it never changes what a completed run computes,
+            // so it stays out of the fingerprint (see SystemConfig docs).
+            watchdog_limit: _,
         } = &self.config;
         let NocConfig {
             control_bytes,
@@ -70,9 +74,10 @@ impl CampaignPoint {
             arbiter,
             duplex,
             transport_pj_per_bit_hop,
+            fault,
         } = noc;
         let link = |l: &LinkTiming| format!("{}+{}ps", l.ps_per_byte, l.fixed_latency.as_ps());
-        format!(
+        let base = format!(
             "mncube-sim-v{SIM_VERSION};pkg={pkg};wl={wl};ports={ports};cap={total_capacity_gb};\
              dram={dram:016x};nvmp={nvm_placement:?};topo={topology:?};wbr={write_burst_routing};\
              bpq={banks_per_quadrant};cq={controller_queue};il={interleave_bytes};win={window};\
@@ -86,6 +91,28 @@ impl CampaignPoint {
             ext = link(external_link),
             int = link(interposer_link),
             tpj = transport_pj_per_bit_hop.to_bits(),
+        );
+        // Fault injection extends the fingerprint only when enabled, so
+        // every zero-fault fingerprint — and with it the committed result
+        // cache and the pinned golden cache keys — is unchanged.
+        if !fault.enabled() {
+            return base;
+        }
+        let FaultConfig {
+            transient_rate,
+            degrade_rate,
+            link_kill_rate,
+            retry_limit,
+            retry_backoff,
+            seed: fault_seed,
+        } = fault;
+        format!(
+            "{base};fault=tr{tr:016x}/dr{dr:016x}/kr{kr:016x}/rl{retry_limit}/\
+             bo{bo}ps/fs{fault_seed:016x}",
+            tr = transient_rate.to_bits(),
+            dr = degrade_rate.to_bits(),
+            kr = link_kill_rate.to_bits(),
+            bo = retry_backoff.as_ps(),
         )
     }
 
@@ -147,6 +174,45 @@ mod tests {
         let mut c = point();
         c.config.noc.external_link.ps_per_byte += 1;
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn disabled_faults_leave_the_fingerprint_alone() {
+        let a = point();
+        let mut b = point();
+        // With every rate at zero the model never engages, so knobs that
+        // only matter under faults (seed, retry policy) must not perturb
+        // the fingerprint — the committed cache depends on this.
+        b.config.noc.fault.seed = 0xDEAD_BEEF;
+        b.config.noc.fault.retry_limit = 2;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!a.fingerprint().contains(";fault="));
+    }
+
+    #[test]
+    fn enabled_faults_extend_the_fingerprint() {
+        let mut a = point();
+        a.config.noc.fault.transient_rate = 0.01;
+        assert_ne!(point().fingerprint(), a.fingerprint());
+        assert!(a.fingerprint().contains(";fault="));
+
+        let mut b = a.clone();
+        b.config.noc.fault.seed ^= 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.config.noc.fault.transient_rate = 0.02;
+        assert_ne!(a.cache_key(), c.cache_key());
+        let mut d = a.clone();
+        d.config.noc.fault.retry_limit += 1;
+        assert_ne!(a.cache_key(), d.cache_key());
+    }
+
+    #[test]
+    fn watchdog_limit_is_not_fingerprinted() {
+        let a = point();
+        let mut b = point();
+        b.config.watchdog_limit *= 2;
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

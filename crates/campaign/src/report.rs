@@ -16,6 +16,10 @@ pub struct CampaignSummary {
     pub cache_hits: usize,
     /// Unique points freshly simulated.
     pub fresh: usize,
+    /// Unique points that produced an error record instead of a result
+    /// (partitioned by fault injection, stalled, or lost to a dead
+    /// worker). Always `<= fresh`: failures are never served from cache.
+    pub failed: usize,
     /// Worker threads used.
     pub jobs: usize,
     /// Host wall-clock for the whole run.
@@ -38,9 +42,14 @@ impl CampaignSummary {
 
     /// The one-line human rendering.
     pub fn line(&self) -> String {
+        let failed = if self.failed == 0 {
+            String::new()
+        } else {
+            format!(", {} FAILED", self.failed)
+        };
         format!(
-            "campaign: {}/{} points in {:.2} s — {} cached, {} simulated, {} worker{}, \
-             {:.0} req/s",
+            "campaign: {}/{} points in {:.2} s — {} cached, {} simulated{failed}, \
+             {} worker{}, {:.0} req/s",
             self.total,
             self.total,
             self.host_wall.as_secs_f64(),

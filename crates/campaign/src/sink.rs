@@ -95,28 +95,80 @@ fn die_usage(problem: &str) -> ! {
 }
 
 /// The flat record for one campaign point, shared by both emitters.
+///
+/// A failed point still yields a full-width record — same columns, so the
+/// CSV header stays consistent — with its measurements nulled (JSON) /
+/// zeroed and the `error` column carrying the failure message. Healthy
+/// points have an empty `error` column.
 pub fn point_record(outcome: &PointOutcome) -> Record {
-    let r = &outcome.result;
-    let b = &r.breakdown;
-    let quantile_ns = |q| r.read_latency_quantile(q).as_ns_f64();
-    vec![
-        ("label", Value::Str(r.label.clone())),
-        ("workload", Value::Str(r.workload.clone())),
-        ("wall_ns", Value::Float(r.wall.as_ns_f64())),
-        ("throughput_per_us", Value::Float(r.throughput_per_us())),
-        ("reads", Value::Int(r.reads)),
-        ("writes", Value::Int(r.writes)),
-        ("to_mem_ns", Value::Float(b.to_memory.mean_ns())),
-        ("in_mem_ns", Value::Float(b.in_memory.mean_ns())),
-        ("from_mem_ns", Value::Float(b.from_memory.mean_ns())),
-        ("read_p50_ns", Value::Float(quantile_ns(0.50))),
-        ("read_p95_ns", Value::Float(quantile_ns(0.95))),
-        ("read_p99_ns", Value::Float(quantile_ns(0.99))),
-        ("row_hit_rate", Value::Float(r.row_hit_rate)),
-        ("avg_hops", Value::Float(r.avg_hops)),
-        ("energy_network_uj", Value::Float(r.energy.network.as_uj())),
-        ("energy_read_uj", Value::Float(r.energy.read.as_uj())),
-        ("energy_write_uj", Value::Float(r.energy.write.as_uj())),
+    match &outcome.result {
+        Ok(r) => {
+            let b = &r.breakdown;
+            let quantile_ns = |q| r.read_latency_quantile(q).as_ns_f64();
+            point_record_fields(
+                outcome,
+                Value::Str(r.label.clone()),
+                Value::Str(r.workload.clone()),
+                vec![
+                    ("wall_ns", Value::Float(r.wall.as_ns_f64())),
+                    ("throughput_per_us", Value::Float(r.throughput_per_us())),
+                    ("reads", Value::Int(r.reads)),
+                    ("writes", Value::Int(r.writes)),
+                    ("to_mem_ns", Value::Float(b.to_memory.mean_ns())),
+                    ("in_mem_ns", Value::Float(b.in_memory.mean_ns())),
+                    ("from_mem_ns", Value::Float(b.from_memory.mean_ns())),
+                    ("read_p50_ns", Value::Float(quantile_ns(0.50))),
+                    ("read_p95_ns", Value::Float(quantile_ns(0.95))),
+                    ("read_p99_ns", Value::Float(quantile_ns(0.99))),
+                    ("row_hit_rate", Value::Float(r.row_hit_rate)),
+                    ("avg_hops", Value::Float(r.avg_hops)),
+                    ("energy_network_uj", Value::Float(r.energy.network.as_uj())),
+                    ("energy_read_uj", Value::Float(r.energy.read.as_uj())),
+                    ("energy_write_uj", Value::Float(r.energy.write.as_uj())),
+                ],
+                String::new(),
+            )
+        }
+        Err(e) => point_record_fields(
+            outcome,
+            Value::Str(outcome.point.config.label()),
+            Value::Str(outcome.point.workload.label().to_string()),
+            // NaN renders as null in JSON — "no measurement", distinct
+            // from a measured zero — and keeps the CSV row full-width.
+            vec![
+                ("wall_ns", Value::Float(f64::NAN)),
+                ("throughput_per_us", Value::Float(f64::NAN)),
+                ("reads", Value::Int(0)),
+                ("writes", Value::Int(0)),
+                ("to_mem_ns", Value::Float(f64::NAN)),
+                ("in_mem_ns", Value::Float(f64::NAN)),
+                ("from_mem_ns", Value::Float(f64::NAN)),
+                ("read_p50_ns", Value::Float(f64::NAN)),
+                ("read_p95_ns", Value::Float(f64::NAN)),
+                ("read_p99_ns", Value::Float(f64::NAN)),
+                ("row_hit_rate", Value::Float(f64::NAN)),
+                ("avg_hops", Value::Float(f64::NAN)),
+                ("energy_network_uj", Value::Float(f64::NAN)),
+                ("energy_read_uj", Value::Float(f64::NAN)),
+                ("energy_write_uj", Value::Float(f64::NAN)),
+            ],
+            e.to_string(),
+        ),
+    }
+}
+
+/// Assembles the fixed column order shared by the success and error arms,
+/// so the two can never drift apart and split a CSV header.
+fn point_record_fields(
+    outcome: &PointOutcome,
+    label: Value,
+    workload: Value,
+    measurements: Vec<(&'static str, Value)>,
+    error: String,
+) -> Record {
+    let mut record = vec![("label", label), ("workload", workload)];
+    record.extend(measurements);
+    record.extend([
         (
             "requests_per_port",
             Value::Int(outcome.point.config.requests_per_port),
@@ -124,7 +176,9 @@ pub fn point_record(outcome: &PointOutcome) -> Record {
         ("seed", Value::Int(outcome.point.config.seed)),
         ("cached", Value::Bool(outcome.cached)),
         ("host_ms", Value::Float(outcome.host.as_secs_f64() * 1e3)),
-    ]
+        ("error", Value::Str(error)),
+    ]);
+    record
 }
 
 /// Writes `records` to `w` in `format`; [`OutputFormat::Text`] writes
@@ -262,6 +316,66 @@ mod tests {
         let mut out = Vec::new();
         write_records(&mut out, OutputFormat::Text, &sample_records()).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn failed_points_keep_the_same_columns() {
+        use crate::error::CampaignError;
+        use crate::point::CampaignPoint;
+        use mn_core::{SimError, SystemConfig};
+        use mn_topo::TopologyKind;
+        use mn_workloads::Workload;
+
+        let mut config = SystemConfig::paper_baseline(TopologyKind::Tree, 1.0).unwrap();
+        config.requests_per_port = 150;
+        let point = CampaignPoint::new(config, Workload::Nw);
+        let result = mn_core::simulate(&point.config, point.workload);
+
+        let ok = PointOutcome {
+            point: point.clone(),
+            result: Ok(result),
+            cached: false,
+            host: std::time::Duration::from_millis(1),
+        };
+        let failed = PointOutcome {
+            point,
+            result: Err(CampaignError::Sim {
+                port: 0,
+                error: SimError::Partitioned {
+                    unreachable: vec![mn_topo::NodeId(3)],
+                },
+            }),
+            cached: false,
+            host: std::time::Duration::ZERO,
+        };
+
+        let ok_record = point_record(&ok);
+        let err_record = point_record(&failed);
+        let columns = |r: &Record| r.iter().map(|(k, _)| *k).collect::<Vec<_>>();
+        assert_eq!(columns(&ok_record), columns(&err_record));
+
+        let field = |r: &Record, k: &str| r.iter().find(|(key, _)| *key == k).unwrap().1.clone();
+        assert_eq!(field(&ok_record, "error"), Value::Str(String::new()));
+        let Value::Str(msg) = field(&err_record, "error") else {
+            panic!("error column should be a string");
+        };
+        assert!(msg.contains("partitioned"), "{msg}");
+        assert_eq!(field(&err_record, "label"), Value::Str("100%-T".into()));
+
+        // Both shapes emit cleanly: error rows become null-measurement
+        // JSON lines and full-width CSV rows under the shared header.
+        let records = vec![ok_record, err_record];
+        let mut json = Vec::new();
+        write_records(&mut json, OutputFormat::Json, &records).unwrap();
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.lines().nth(1).unwrap().contains("\"wall_ns\":null"));
+        let mut csv = Vec::new();
+        write_records(&mut csv, OutputFormat::Csv, &records).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        let header_fields = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_fields, "{line}");
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn encoded(campaign: &Campaign) -> Vec<String> {
         .run(grid())
         .outcomes
         .iter()
-        .map(|o| codec::encode_result(&o.result))
+        .map(|o| codec::encode_result(o.result.as_ref().unwrap()))
         .collect()
 }
 
@@ -58,6 +58,56 @@ fn parallel_results_are_bit_identical_to_serial() {
     let parallel = encoded(&Campaign::new(4).quiet());
     assert_eq!(serial.len(), grid().len());
     assert_eq!(serial, parallel);
+}
+
+/// A fault-injected grid on topologies with enough path diversity to
+/// survive their schedules, with multiple simulated ports so fault draws
+/// happen on different workers in different orders.
+fn faulted_grid() -> Vec<CampaignPoint> {
+    let mut points = Vec::new();
+    for topology in [TopologyKind::Ring, TopologyKind::SkipList] {
+        for workload in [Workload::Nw, Workload::Backprop] {
+            let mut config = SystemConfig::paper_baseline(topology, 1.0).unwrap();
+            config.requests_per_port = 200;
+            config.simulated_ports = 2;
+            config.noc.fault.transient_rate = 0.02;
+            config.noc.fault.degrade_rate = 0.05;
+            config.noc.fault.seed = 0xFA017;
+            points.push(CampaignPoint::new(config, workload));
+        }
+    }
+    points
+}
+
+#[test]
+fn fault_schedules_are_bit_identical_at_any_worker_count() {
+    let run = |jobs| {
+        Campaign::new(jobs)
+            .quiet()
+            .run(faulted_grid())
+            .outcomes
+            .into_iter()
+            .map(|o| codec::encode_result(&o.result.unwrap()))
+            .collect::<Vec<String>>()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.len(), faulted_grid().len());
+    assert_eq!(serial, parallel);
+
+    // A different fault seed is a genuinely different experiment.
+    let mut reseeded = faulted_grid();
+    for p in &mut reseeded {
+        p.config.noc.fault.seed ^= 1;
+    }
+    let other: Vec<String> = Campaign::new(4)
+        .quiet()
+        .run(reseeded)
+        .outcomes
+        .into_iter()
+        .map(|o| codec::encode_result(&o.result.unwrap()))
+        .collect();
+    assert_ne!(serial, other);
 }
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -82,12 +132,12 @@ fn second_run_is_served_entirely_from_cache() {
     let fresh: Vec<String> = first
         .outcomes
         .iter()
-        .map(|o| codec::encode_result(&o.result))
+        .map(|o| codec::encode_result(o.result.as_ref().unwrap()))
         .collect();
     let cached: Vec<String> = second
         .outcomes
         .iter()
-        .map(|o| codec::encode_result(&o.result))
+        .map(|o| codec::encode_result(o.result.as_ref().unwrap()))
         .collect();
     assert_eq!(fresh, cached);
     for outcome in &second.outcomes {

@@ -90,6 +90,12 @@ pub struct SystemConfig {
     pub reference_ports: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Livelock watchdog: a port simulation whose completion count stays
+    /// flat for this many driver iterations aborts with a structured
+    /// stall error instead of hanging its worker. Deliberately *not* part
+    /// of the result fingerprint: the limit only decides how a broken run
+    /// fails (error vs. hang), never what a completed run computes.
+    pub watchdog_limit: u64,
 }
 
 impl SystemConfig {
@@ -121,6 +127,9 @@ impl SystemConfig {
             simulated_ports: 1,
             reference_ports: 8,
             seed: 0xC0FFEE,
+            // Far above any legitimate completion gap (bursts complete
+            // every few hundred iterations), far below "hung in CI".
+            watchdog_limit: 2_000_000,
         };
         config.placement()?; // validate the mix early
         Ok(config)

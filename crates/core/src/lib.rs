@@ -43,6 +43,7 @@
 
 mod address;
 mod config;
+mod error;
 mod experiment;
 mod port;
 mod stats;
@@ -50,9 +51,12 @@ mod system;
 
 pub use address::{AddressMap, DecodedAddress};
 pub use config::{ConfigError, SystemConfig};
+pub use error::SimError;
 pub use experiment::{
     baseline_chain_config, mix_grid, ratio_label, speedup_pct, ConfigPoint, MixSpec,
 };
 pub use port::PortObservation;
 pub use stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
-pub use system::{merge_port_observations, port_count, simulate, simulate_port};
+pub use system::{
+    merge_port_observations, port_count, simulate, simulate_port, try_simulate, try_simulate_port,
+};

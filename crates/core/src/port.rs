@@ -37,12 +37,13 @@ use std::collections::VecDeque;
 
 use mn_mem::{EnergyPj, MemAccess, MemTechSpec, QuadrantController};
 use mn_noc::{Network, Packet, PacketKind, WriteBurstDetector};
-use mn_sim::{Histogram, SeqSlab, SimDuration, SimRng, SimTime};
+use mn_sim::{Histogram, SeqSlab, SimDuration, SimRng, SimTime, Watchdog};
 use mn_topo::{CubeTech, NodeId, PathClass, Topology, TopologyKind};
 use mn_workloads::{MemRef, TraceGenerator};
 
 use crate::address::{AddressMap, DecodedAddress};
 use crate::config::SystemConfig;
+use crate::error::SimError;
 use crate::stats::{EnergyBreakdown, LatencyBreakdown};
 
 /// Quadrants per cube (Table 2's 256 banks in 4 quadrants).
@@ -128,6 +129,7 @@ pub(crate) struct PortSim {
     window: usize,
     write_burst_routing: bool,
     transport_pj_per_bit_hop: f64,
+    watchdog_limit: u64,
 
     /// Wavefront slots waiting out their think time: (due, burst refs).
     thinking: Vec<(SimTime, Vec<MemRef>)>,
@@ -161,14 +163,19 @@ pub(crate) struct PortSim {
 }
 
 impl PortSim {
-    /// Builds the simulator for one port of `config` running `trace`.
-    pub(crate) fn new(config: &SystemConfig, trace: TraceGenerator) -> PortSim {
+    /// Builds the simulator for one port of `config` running `trace`,
+    /// reporting [`SimError::Partitioned`] when fault injection severed
+    /// the topology.
+    pub(crate) fn try_new(
+        config: &SystemConfig,
+        trace: TraceGenerator,
+    ) -> Result<PortSim, SimError> {
         let placement = config
             .placement()
             .expect("config validated before simulation");
         let topo = Topology::build(config.topology, &placement)
             .expect("placement is valid for every topology");
-        let net = Network::new(&topo, config.noc.clone());
+        let net = Network::try_new(&topo, config.noc.clone())?;
         let addr_map = AddressMap::new(
             &topo,
             &placement,
@@ -202,7 +209,7 @@ impl PortSim {
                 }
             }
         }
-        PortSim {
+        Ok(PortSim {
             topo,
             net,
             addr_map,
@@ -216,6 +223,7 @@ impl PortSim {
             write_burst_routing: config.write_burst_routing
                 && config.topology == TopologyKind::SkipList,
             transport_pj_per_bit_hop: config.noc.transport_pj_per_bit_hop,
+            watchdog_limit: config.watchdog_limit,
             thinking: Vec::new(),
             bursts: SeqSlab::with_capacity(config.window),
             next_burst: 0,
@@ -237,21 +245,27 @@ impl PortSim {
             read_energy: EnergyPj::ZERO,
             write_energy: EnergyPj::ZERO,
             last_response_at: SimTime::ZERO,
-        }
+        })
     }
 
     /// Runs the port to trace completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the simulation wedges (no component can make progress
-    /// while requests remain) — that would be a simulator bug, not a
-    /// configuration error.
-    pub(crate) fn run(mut self) -> PortObservation {
+    /// Returns [`SimError::Stalled`] when the simulation wedges — no
+    /// component can make progress while requests remain (deadlock), or
+    /// the completion count stays flat for the configured watchdog limit
+    /// (livelock). Either way the error carries a state snapshot instead
+    /// of hanging the calling worker.
+    pub(crate) fn run(mut self) -> Result<PortObservation, SimError> {
         let mut now = SimTime::ZERO;
         // One ready buffer for the whole run; `Network::advance` refills it
         // in place every iteration of the hot loop.
         let mut ready = Vec::new();
+        // The watchdog backstops *livelock*: time keeps advancing but no
+        // request ever completes (deadlock is caught by `next_time`
+        // returning `None`). One observation per outer iteration.
+        let mut watchdog = Watchdog::new(self.watchdog_limit.max(1));
         self.spawn_threads();
         while self.completed < self.total_requests {
             // Fixpoint at `now`: keep moving work until nothing changes.
@@ -275,21 +289,18 @@ impl PortSim {
             if self.completed >= self.total_requests {
                 break;
             }
-            now = self.next_time(now).unwrap_or_else(|| {
-                panic!(
-                    "simulation wedged at {now}: {} of {} requests complete, \
-                     {} outstanding, {} queued",
-                    self.completed,
-                    self.total_requests,
-                    self.outstanding,
-                    self.host_queue.len()
-                )
-            });
+            if watchdog.observe(self.completed) {
+                return Err(self.stall_snapshot(now));
+            }
+            now = match self.next_time(now) {
+                Some(t) => t,
+                None => return Err(self.stall_snapshot(now)),
+            };
         }
 
         let (hits, accesses) = self.row_hit_counts();
         let delivered = self.net.stats().delivered.value().max(1);
-        PortObservation {
+        Ok(PortObservation {
             wall: self.last_response_at,
             breakdown: self.breakdown,
             read_latency: self.read_latency,
@@ -312,6 +323,17 @@ impl PortSim {
             avg_hops: self.hop_sum as f64 / delivered as f64,
             kernel_events: self.net.events_processed(),
             queue_peak: self.net.event_queue_peak(),
+        })
+    }
+
+    /// The [`SimError::Stalled`] snapshot for the current wedged state.
+    fn stall_snapshot(&self, now: SimTime) -> SimError {
+        SimError::Stalled {
+            at: now,
+            completed: self.completed,
+            total: self.total_requests,
+            outstanding: self.outstanding,
+            queued: self.host_queue.len(),
         }
     }
 
@@ -639,12 +661,16 @@ mod tests {
         c
     }
 
-    fn run(config: &SystemConfig, workload: Workload) -> PortObservation {
+    fn try_run(config: &SystemConfig, workload: Workload) -> Result<PortObservation, SimError> {
         let space = config.capacity_per_port_gb() * (1 << 30);
         let mut profile = workload.profile();
         profile.footprint_fraction = 1.0;
         let trace = TraceGenerator::new(profile, space, config.seed);
-        PortSim::new(config, trace).run()
+        PortSim::try_new(config, trace)?.run()
+    }
+
+    fn run(config: &SystemConfig, workload: Workload) -> PortObservation {
+        try_run(config, workload).expect("simulation completes")
     }
 
     #[test]
@@ -757,5 +783,75 @@ mod tests {
             let r = run(&quick_config(TopologyKind::MetaCube, frac), Workload::Buff);
             assert_eq!(r.reads + r.writes, 500, "fraction {frac}");
         }
+    }
+
+    #[test]
+    fn wedged_network_returns_stalled() {
+        // A zero-entry write buffer blocks the first write forever: issue
+        // deadlocks once a write reaches the queue head and nothing is in
+        // flight. The driver must diagnose the wedge, not hang or panic.
+        let mut c = quick_config(TopologyKind::Chain, 1.0);
+        c.total_capacity_gb = 16 * c.ports as u64 * 2; // two-cube chain
+        c.host_write_buffer = 0;
+        let err = try_run(&c, Workload::Backprop).expect_err("write-heavy trace must wedge");
+        match err {
+            SimError::Stalled {
+                completed,
+                total,
+                queued,
+                ..
+            } => {
+                assert!(completed < total, "stall means incomplete");
+                assert!(queued > 0, "the blocked write sits in the queue");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_chain_returns_partitioned() {
+        let mut c = quick_config(TopologyKind::Chain, 1.0);
+        c.noc.fault.link_kill_rate = 0.3;
+        let err = (0..50)
+            .find_map(|seed| {
+                let mut c = c.clone();
+                c.noc.fault.seed = seed;
+                try_run(&c, Workload::Dct).err()
+            })
+            .expect("some seed kills a chain link");
+        match err {
+            SimError::Partitioned { unreachable } => assert!(!unreachable.is_empty()),
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_run_completes_with_extra_latency() {
+        // Transient CRC faults slow a ring down but never lose requests.
+        let c = quick_config(TopologyKind::Ring, 1.0);
+        let healthy = run(&c, Workload::Dct);
+        let mut faulty_cfg = c.clone();
+        faulty_cfg.noc.fault.transient_rate = 0.05;
+        faulty_cfg.noc.fault.seed = 7;
+        let faulty = run(&faulty_cfg, Workload::Dct);
+        assert_eq!(faulty.reads + faulty.writes, 500);
+        assert!(
+            faulty.wall > healthy.wall,
+            "faults cost latency: {} vs {}",
+            faulty.wall,
+            healthy.wall
+        );
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let mut c = quick_config(TopologyKind::SkipList, 1.0);
+        c.noc.fault.transient_rate = 0.02;
+        c.noc.fault.degrade_rate = 0.1;
+        c.noc.fault.seed = 3;
+        let a = run(&c, Workload::Kmeans);
+        let b = run(&c, Workload::Kmeans);
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.kernel_events, b.kernel_events);
     }
 }

@@ -3,6 +3,7 @@
 use mn_workloads::{TraceGenerator, Workload};
 
 use crate::config::SystemConfig;
+use crate::error::SimError;
 use crate::port::{PortObservation, PortSim};
 use crate::stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
 
@@ -33,8 +34,17 @@ use crate::stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
 /// assert_eq!(result.reads + result.writes, 1_000);
 /// ```
 pub fn simulate(config: &SystemConfig, workload: Workload) -> RunResult {
-    let observations = (0..port_count(config)).map(|port| simulate_port(config, workload, port));
-    merge_port_observations(config, workload, observations)
+    try_simulate(config, workload).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`simulate`] with structured failure: a partitioned network or a
+/// stalled port surfaces as a [`SimError`] value instead of a panic, so
+/// campaign workers can attribute the failure to its grid point.
+pub fn try_simulate(config: &SystemConfig, workload: Workload) -> Result<RunResult, SimError> {
+    let observations = (0..port_count(config))
+        .map(|port| try_simulate_port(config, workload, port))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(merge_port_observations(config, workload, observations))
 }
 
 /// The number of independent port simulations `config` describes.
@@ -55,13 +65,31 @@ pub fn port_count(config: &SystemConfig) -> u32 {
 ///
 /// Panics if the configuration's placement is invalid.
 pub fn simulate_port(config: &SystemConfig, workload: Workload, port: u32) -> PortObservation {
+    try_simulate_port(config, workload, port).unwrap_or_else(|e| panic!("port {port}: {e}"))
+}
+
+/// [`simulate_port`] with structured failure (see [`try_simulate`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::Partitioned`] when fault injection severed the
+/// topology and [`SimError::Stalled`] when the port wedges mid-run.
+///
+/// # Panics
+///
+/// Panics if the configuration's placement is invalid.
+pub fn try_simulate_port(
+    config: &SystemConfig,
+    workload: Workload,
+    port: u32,
+) -> Result<PortObservation, SimError> {
     config.placement().expect("invalid configuration");
     let space_bytes = config.capacity_per_port_gb() * (1 << 30);
     let seed = config
         .seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(port) + 1));
     let trace = TraceGenerator::new(workload.profile(), space_bytes, seed);
-    PortSim::new(config, trace).run()
+    PortSim::try_new(config, trace)?.run()
 }
 
 /// Merges per-port observations into the aggregate [`RunResult`].

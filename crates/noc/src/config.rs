@@ -4,6 +4,7 @@ use mn_sim::SimDuration;
 use mn_topo::LinkClass;
 
 use crate::arbiter::ArbiterKind;
+use crate::fault::FaultConfig;
 use crate::packet::PacketKind;
 
 /// Whether a link's two directions share one physical channel.
@@ -62,6 +63,9 @@ pub struct NocConfig {
     pub duplex: LinkDuplex,
     /// Transport energy per bit per hop, picojoules (§5: 5 pJ/bit/hop).
     pub transport_pj_per_bit_hop: f64,
+    /// Link-fault injection (disabled in the paper baseline; see
+    /// [`FaultConfig`]).
+    pub fault: FaultConfig,
 }
 
 impl NocConfig {
@@ -85,6 +89,7 @@ impl NocConfig {
             arbiter: ArbiterKind::RoundRobin,
             duplex: LinkDuplex::Half,
             transport_pj_per_bit_hop: 5.0,
+            fault: FaultConfig::none(),
         }
     }
 
@@ -124,6 +129,7 @@ impl NocConfig {
         );
         assert!(self.buffer_packets > 0, "buffers need capacity");
         assert!(self.ejection_packets > 0, "ejection buffers need capacity");
+        self.fault.validate();
     }
 }
 

@@ -71,6 +71,7 @@
 
 mod arbiter;
 mod config;
+mod fault;
 mod network;
 mod packet;
 mod policy;
@@ -80,7 +81,8 @@ pub use arbiter::{
     Arbiter, ArbiterKind, Candidate, DistanceArbiter, OldestFirstArbiter, RoundRobinArbiter,
 };
 pub use config::{LinkDuplex, LinkTiming, NocConfig};
-pub use network::{Delivery, Network, NetworkFull};
+pub use fault::{FaultConfig, FaultModel, FaultStats};
+pub use network::{Delivery, Network, NetworkError, NetworkFull};
 pub use packet::{Packet, PacketId, PacketKind, VirtualChannel};
 pub use policy::WriteBurstDetector;
 pub use stats::NetStats;

@@ -30,10 +30,11 @@ use std::error::Error;
 use std::fmt;
 
 use mn_sim::{EventQueue, SimTime};
-use mn_topo::{NodeId, NodeKind, RoutingTable, Topology};
+use mn_topo::{NodeId, NodeKind, PathClass, RoutingTable, Topology};
 
 use crate::arbiter::{Arbiter, Candidate};
 use crate::config::{LinkDuplex, NocConfig};
+use crate::fault::{FaultModel, FaultStats};
 use crate::packet::{Packet, PacketId, VirtualChannel};
 use crate::stats::NetStats;
 
@@ -49,6 +50,43 @@ impl fmt::Display for NetworkFull {
 }
 
 impl Error for NetworkFull {}
+
+/// Error building a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// Hard link failures severed the network: the listed cubes cannot
+    /// exchange traffic with the host on every path class even after
+    /// routing around the dead links. Reported at construction — a
+    /// partitioned network would otherwise strand packets forever and
+    /// present as a hang.
+    Partitioned {
+        /// Cubes unreachable from the host (ascending id order).
+        unreachable: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Partitioned { unreachable } => {
+                write!(
+                    f,
+                    "dead links partition the network: {} cube(s) unreachable (",
+                    unreachable.len()
+                )?;
+                for (i, node) in unreachable.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{node}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
 
 /// A packet pulled from a node's ejection buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +201,10 @@ pub struct Network {
     scratch: Vec<Candidate>,
     next_packet_id: u64,
     stats: NetStats,
+    /// Fault injection state; `None` on the zero-fault path, which then
+    /// executes exactly the pre-fault-model arithmetic (the bit-identical
+    /// baseline contract).
+    faults: Option<FaultModel>,
 }
 
 impl Network {
@@ -170,10 +212,48 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails validation (see [`NocConfig::validate`]).
+    /// Panics if `config` fails validation (see [`NocConfig::validate`])
+    /// or if fault injection partitioned the network — use
+    /// [`Network::try_new`] to handle partitions structurally.
     pub fn new(topo: &Topology, config: NocConfig) -> Network {
+        Network::try_new(topo, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the network, reporting a [`NetworkError::Partitioned`] when
+    /// hard link faults leave some cube with no route to the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation (see [`NocConfig::validate`]).
+    pub fn try_new(topo: &Topology, config: NocConfig) -> Result<Network, NetworkError> {
         config.validate();
-        let routes = topo.routing();
+        let faults = config
+            .fault
+            .enabled()
+            .then(|| FaultModel::build(topo, config.fault.clone()));
+        let dead = faults.as_ref().map_or(&[][..], |fm| fm.dead_links());
+        let routes = if dead.is_empty() {
+            topo.routing()
+        } else {
+            let routes = RoutingTable::compute_avoiding(topo, dead);
+            // Every cube must exchange traffic with the host on both path
+            // classes (after the write→read degradation inside
+            // `compute_avoiding`); anything less would strand packets.
+            let unreachable: Vec<NodeId> = topo
+                .cubes()
+                .map(|(cube, _)| cube)
+                .filter(|&cube| {
+                    PathClass::ALL.iter().any(|&class| {
+                        !routes.reachable(class, topo.host(), cube)
+                            || !routes.reachable(class, cube, topo.host())
+                    })
+                })
+                .collect();
+            if !unreachable.is_empty() {
+                return Err(NetworkError::Partitioned { unreachable });
+            }
+            routes
+        };
         let mut nodes = Vec::with_capacity(topo.node_count());
         let mut link_ports = vec![Vec::new(); topo.node_count()];
         for id in topo.node_ids() {
@@ -235,7 +315,7 @@ impl Network {
         // this under heavy transients; the hint only avoids the early
         // doubling reallocations in every simulation's warm-up.
         let event_capacity = 2 * (topo.node_count() + 2 * topo.link_count());
-        Network {
+        Ok(Network {
             routes,
             config,
             nodes,
@@ -248,8 +328,9 @@ impl Network {
             scratch: Vec::with_capacity(16),
             next_packet_id: 0,
             stats,
+            faults,
             topo: topo.clone(),
-        }
+        })
     }
 
     /// The routing table the network forwards with.
@@ -260,6 +341,11 @@ impl Network {
     /// Statistics gathered so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Fault activity so far; `None` when fault injection is disabled.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|fm| fm.stats())
     }
 
     /// Number of local injection ports at `node` (1 for the host, 4 for
@@ -483,6 +569,12 @@ impl Network {
     /// the link frees.
     fn arbitrate_link_output(&mut self, node: NodeId, out_port: usize, now: SimTime) {
         let (neighbor, link) = self.topo.neighbors(node)[out_port];
+        // Dead links never carry traffic. Routing already avoids them, so
+        // no candidate can select this output; the guard skips the scan and
+        // keeps that invariant explicit.
+        if self.faults.as_ref().is_some_and(|fm| fm.is_dead(link)) {
+            return;
+        }
         let link_info = self.topo.link(link);
         let dir = usize::from(link_info.a != node);
         let busy = match self.config.duplex {
@@ -555,7 +647,12 @@ impl Network {
         self.nodes[neighbor.index()].bufs[neighbor_port][vc].reserved += 1;
 
         let timing = self.config.link_timing(link_info.class);
-        let ser = timing.serialize(self.config.packet_bytes(packet.kind));
+        let mut ser = timing.serialize(self.config.packet_bytes(packet.kind));
+        if let Some(fm) = &mut self.faults {
+            // Lane degradation and CRC retry/replay stretch the occupancy;
+            // the packet itself always gets through (latency, not loss).
+            ser = fm.traverse(link, ser);
+        }
         let free_at = now + ser;
         self.link_free_at[link.index()][dir] = free_at;
         self.stats.link_busy[link.index() * 2 + dir] += ser;
@@ -859,6 +956,141 @@ mod tests {
         let mut net = Network::new(&topo, NocConfig::default());
         assert_eq!(net.take_delivery(topo.host(), SimTime::ZERO), None);
         assert!(!net.has_delivery(topo.host()));
+    }
+
+    #[test]
+    fn partitioned_chain_reports_unreachable_cubes() {
+        // A chain has zero path diversity: any hard link failure cuts off
+        // every cube behind it, and construction must say so instead of
+        // letting traffic strand.
+        let topo = chain(8);
+        let cfg = NocConfig {
+            fault: crate::FaultConfig {
+                link_kill_rate: 0.3,
+                seed: 1,
+                ..crate::FaultConfig::none()
+            },
+            ..NocConfig::default()
+        };
+        // Some seed in a small range kills at least one link of eight.
+        let err = (0..50)
+            .find_map(|seed| {
+                let mut cfg = cfg.clone();
+                cfg.fault.seed = seed;
+                Network::try_new(&topo, cfg).err()
+            })
+            .expect("some seed kills a chain link");
+        let NetworkError::Partitioned { unreachable } = err;
+        assert!(!unreachable.is_empty());
+        // Everything behind the first dead link is gone: the unreachable
+        // set is a suffix of the chain.
+        let first = unreachable[0];
+        let expected: Vec<NodeId> = topo
+            .cubes()
+            .map(|(c, _)| c)
+            .filter(|&c| c >= first)
+            .collect();
+        assert_eq!(unreachable, expected);
+        // And the error formats with the cube list.
+        let msg = NetworkError::Partitioned {
+            unreachable: unreachable.clone(),
+        }
+        .to_string();
+        assert!(msg.contains("partition"), "{msg}");
+    }
+
+    #[test]
+    fn ring_survives_a_dead_link() {
+        // A ring has two disjoint branches: one hard failure degrades hop
+        // counts but every cube still completes its traffic.
+        let topo = Topology::build(
+            TopologyKind::Ring,
+            &Placement::homogeneous(16, CubeTech::Dram),
+        )
+        .unwrap();
+        let mut cfg = NocConfig {
+            fault: crate::FaultConfig {
+                link_kill_rate: 0.1,
+                ..crate::FaultConfig::none()
+            },
+            ..NocConfig::default()
+        };
+        let seed = (0..50)
+            .find(|&seed| {
+                let fm = crate::FaultModel::build(
+                    &topo,
+                    crate::FaultConfig {
+                        seed,
+                        ..cfg.fault.clone()
+                    },
+                );
+                fm.dead_links().len() == 1
+            })
+            .expect("some seed kills exactly one ring link");
+        cfg.fault.seed = seed;
+        let mut net = Network::try_new(&topo, cfg).expect("ring routes around one dead link");
+        let mut deliveries = Vec::new();
+        let mut ready = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (t, p) in (1..=16).enumerate() {
+            let dst = topo.cube_at_position(p).unwrap();
+            let pkt = Packet::request(t as u64, PacketKind::ReadRequest, topo.host(), dst);
+            // Drain between injections: the host buffer is smaller than 16.
+            net.inject(topo.host(), 0, pkt, now).unwrap();
+            loop {
+                net.advance(now, &mut ready);
+                for &node in &ready {
+                    while let Some(d) = net.take_delivery(node, now) {
+                        deliveries.push(d);
+                    }
+                }
+                match net.next_event_time() {
+                    Some(t) => now = t,
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(deliveries.len(), 16, "every cube still reachable");
+        assert_eq!(net.fault_stats().unwrap().dead_links, 1);
+    }
+
+    #[test]
+    fn transient_faults_add_latency_not_loss() {
+        let topo = chain(4);
+        let cfg = NocConfig {
+            fault: crate::FaultConfig {
+                transient_rate: 0.5,
+                seed: 11,
+                ..crate::FaultConfig::none()
+            },
+            ..NocConfig::default()
+        };
+        let healthy_arrival = {
+            let mut net = Network::new(&topo, NocConfig::default());
+            let dst = topo.cube_at_position(4).unwrap();
+            let pkt = Packet::request(0, PacketKind::ReadRequest, topo.host(), dst);
+            net.inject(topo.host(), 0, pkt, SimTime::ZERO).unwrap();
+            run_to_quiescence(&mut net)[0].arrived_at
+        };
+        let mut net = Network::new(&topo, cfg);
+        let dst = topo.cube_at_position(4).unwrap();
+        let pkt = Packet::request(0, PacketKind::ReadRequest, topo.host(), dst);
+        net.inject(topo.host(), 0, pkt, SimTime::ZERO).unwrap();
+        let deliveries = run_to_quiescence(&mut net);
+        assert_eq!(deliveries.len(), 1, "no data loss");
+        let stats = net.fault_stats().unwrap();
+        assert!(stats.replays > 0, "at 50% CRC rate some hop replays");
+        assert!(
+            deliveries[0].arrived_at > healthy_arrival,
+            "replays cost latency"
+        );
+    }
+
+    #[test]
+    fn zero_fault_config_builds_no_model() {
+        let topo = chain(2);
+        let net = Network::new(&topo, NocConfig::default());
+        assert!(net.fault_stats().is_none());
     }
 
     #[test]

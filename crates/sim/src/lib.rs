@@ -40,9 +40,11 @@ mod rng;
 mod slab;
 mod stats;
 mod time;
+mod watchdog;
 
 pub use event::{EventQueue, Scheduled};
 pub use rng::SimRng;
 pub use slab::SeqSlab;
 pub use stats::{Accumulator, Counter, Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};
+pub use watchdog::Watchdog;

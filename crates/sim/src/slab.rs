@@ -220,4 +220,73 @@ mod tests {
         s.insert(4, ());
         s.insert(3, ());
     }
+
+    #[test]
+    fn keys_far_beyond_capacity_grow_the_window() {
+        // Issuing a key much larger than the pre-sized capacity must not
+        // corrupt addressing: the window grows to span the gap and every
+        // live key stays reachable.
+        let mut s = SeqSlab::with_capacity(4);
+        s.insert(0, 'a');
+        s.insert(100, 'b'); // 25x the hinted capacity
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.window(), 101);
+        assert_eq!(s.get(0), Some(&'a'));
+        assert_eq!(s.get(100), Some(&'b'));
+        // Every key inside the gap is dead, not aliased.
+        for k in 1..100 {
+            assert_eq!(s.get(k), None, "gap key {k}");
+        }
+        assert_eq!(s.remove(0), Some('a'));
+        assert_eq!(s.window(), 1, "dead prefix released");
+        assert_eq!(s.get(100), Some(&'b'));
+    }
+
+    #[test]
+    fn take_after_wrap_hits_the_right_slot() {
+        // Drive the ring through many base advances (the VecDeque wraps its
+        // backing buffer repeatedly), then check lookups still address the
+        // logical keys, not stale physical slots.
+        let mut s = SeqSlab::with_capacity(4);
+        for k in 0..1_000u64 {
+            s.insert(k, k * 3);
+            if k >= 3 {
+                assert_eq!(s.remove(k - 3), Some((k - 3) * 3));
+            }
+        }
+        // Live window is now {997, 998, 999}.
+        assert_eq!(s.len(), 3);
+        for k in 997..1_000 {
+            assert_eq!(s.get(k), Some(&(k * 3)), "post-wrap key {k}");
+        }
+        // Keys below the advanced base are out of the window entirely.
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.get(996), None);
+        assert_eq!(s.get_mut(500), None);
+        assert_eq!(s.remove(123), None);
+        // Keys above the window are out of range, not a panic.
+        assert_eq!(s.get(1_000), None);
+        assert_eq!(s.remove(u64::MAX), None);
+    }
+
+    #[test]
+    fn double_take_is_none_and_keeps_neighbors() {
+        let mut s = SeqSlab::new();
+        for k in 10..14u64 {
+            s.insert(k, k);
+        }
+        assert_eq!(s.remove(12), Some(12));
+        // Taking the same key again is a clean miss…
+        assert_eq!(s.remove(12), None);
+        assert_eq!(s.get(12), None);
+        // …and the surrounding keys are untouched by either take.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(11), Some(&11));
+        assert_eq!(s.get(13), Some(&13));
+        // Double-take of the head slot must not advance the base twice.
+        assert_eq!(s.remove(10), Some(10));
+        assert_eq!(s.remove(10), None);
+        assert_eq!(s.get(11), Some(&11));
+        assert_eq!(s.get(13), Some(&13));
+    }
 }

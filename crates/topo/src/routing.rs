@@ -74,12 +74,40 @@ impl RoutingTable {
     /// reproducible.
     pub fn compute(topo: &Topology) -> RoutingTable {
         RoutingTable {
-            read: Self::compute_class(topo, true),
-            write: Self::compute_class(topo, false),
+            read: Self::compute_class(topo, true, &[]),
+            write: Self::compute_class(topo, false, &[]),
         }
     }
 
-    fn compute_class(topo: &Topology, allow_skip: bool) -> ClassTable {
+    /// Computes routing tables for `topo` treating every link in `dead` as
+    /// nonexistent — the fault-recovery path. Where the topology has path
+    /// diversity (ring, skip-list, MetaCube) routes bend around the dead
+    /// links; where it does not, destinations become unreachable (query
+    /// with [`RoutingTable::reachable`] before forwarding).
+    ///
+    /// Graceful degradation for the write class: skip-list writes normally
+    /// ride the chain only, but when a dead chain link severs the
+    /// chain-only plane for some pair while the read plane (skip links
+    /// included) still connects it, the write entries for that pair fall
+    /// back to the read route. A degraded MN keeps serving writes over the
+    /// skip links rather than reporting a partition the hardware could
+    /// route around.
+    pub fn compute_avoiding(topo: &Topology, dead: &[LinkId]) -> RoutingTable {
+        let read = Self::compute_class(topo, true, dead);
+        let mut write = Self::compute_class(topo, false, dead);
+        for src in topo.node_ids() {
+            for dst in topo.node_ids() {
+                let (s, d) = (src.index(), dst.index());
+                if write.dist[s][d] == UNREACHABLE && read.dist[s][d] != UNREACHABLE {
+                    write.dist[s][d] = read.dist[s][d];
+                    write.next_hop[s][d] = read.next_hop[s][d];
+                }
+            }
+        }
+        RoutingTable { read, write }
+    }
+
+    fn compute_class(topo: &Topology, allow_skip: bool, dead: &[LinkId]) -> ClassTable {
         let n = topo.node_count();
         let mut next_hop = vec![vec![None; n]; n];
         let mut dist = vec![vec![UNREACHABLE; n]; n];
@@ -99,6 +127,9 @@ impl RoutingTable {
                 }
                 for &(v, link) in topo.neighbors(u) {
                     if !allow_skip && topo.link(link).skip {
+                        continue;
+                    }
+                    if dead.contains(&link) {
                         continue;
                     }
                     if d[v.index()] == UNREACHABLE {
@@ -144,6 +175,19 @@ impl RoutingTable {
         let d = self.class(class).dist[src.index()][dst.index()];
         assert!(d != UNREACHABLE, "{dst} unreachable from {src}");
         d
+    }
+
+    /// Hop count from `src` to `dst` on the given class, or `None` when
+    /// the pair is disconnected — the fault-tolerant twin of
+    /// [`RoutingTable::hops`] for tables built with dead links.
+    pub fn try_hops(&self, class: PathClass, src: NodeId, dst: NodeId) -> Option<u32> {
+        let d = self.class(class).dist[src.index()][dst.index()];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// True when `dst` is reachable from `src` on `class`.
+    pub fn reachable(&self, class: PathClass, src: NodeId, dst: NodeId) -> bool {
+        self.class(class).dist[src.index()][dst.index()] != UNREACHABLE
     }
 
     /// Convenience for [`RoutingTable::hops`] with [`PathClass::Read`].
@@ -338,5 +382,103 @@ mod tests {
     fn next_hop_none_for_self() {
         let (t, r) = build(TopologyKind::Chain, 4);
         assert_eq!(r.next_hop(PathClass::Read, t.host(), t.host()), None);
+    }
+
+    /// The link joining `a` and `b`, which must exist.
+    fn link_between(t: &Topology, a: NodeId, b: NodeId) -> LinkId {
+        t.neighbors(a)
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, l)| l)
+            .expect("nodes are adjacent")
+    }
+
+    #[test]
+    fn dead_link_partitions_a_chain() {
+        let (t, _) = build(TopologyKind::Chain, 8);
+        let c4 = t.cube_at_position(4).unwrap();
+        let c5 = t.cube_at_position(5).unwrap();
+        let dead = link_between(&t, c4, c5);
+        let r = RoutingTable::compute_avoiding(&t, &[dead]);
+        // Positions 1..=4 stay reachable, 5..=8 are cut off.
+        for p in 1..=4 {
+            let c = t.cube_at_position(p).unwrap();
+            assert!(r.reachable(PathClass::Read, t.host(), c), "position {p}");
+            assert_eq!(r.try_hops(PathClass::Read, t.host(), c), Some(p));
+        }
+        for p in 5..=8 {
+            let c = t.cube_at_position(p).unwrap();
+            assert!(!r.reachable(PathClass::Read, t.host(), c), "position {p}");
+            assert_eq!(r.try_hops(PathClass::Read, t.host(), c), None);
+        }
+    }
+
+    #[test]
+    fn ring_routes_around_a_dead_link() {
+        let (t, healthy) = build(TopologyKind::Ring, 16);
+        // Cut close to the host, where shortest paths actually cross: the
+        // cube just behind the cut must detour the long way around.
+        let c1 = t.cube_at_position(1).unwrap();
+        let c2 = t.cube_at_position(2).unwrap();
+        let dead = link_between(&t, c1, c2);
+        let r = RoutingTable::compute_avoiding(&t, &[dead]);
+        // Every cube stays reachable; paths avoid the dead link; no cube
+        // gets closer than it was on the healthy ring.
+        for p in 1..=16 {
+            let c = t.cube_at_position(p).unwrap();
+            assert!(r.reachable(PathClass::Read, t.host(), c), "position {p}");
+            assert!(!r.path_links(PathClass::Read, t.host(), c).contains(&dead));
+            assert!(
+                r.hops(PathClass::Read, t.host(), c) >= healthy.read_hops(t.host(), c),
+                "position {p}"
+            );
+        }
+        assert!(
+            r.read_hops(t.host(), c2) > healthy.read_hops(t.host(), c2),
+            "the cube behind the cut detours the long way around"
+        );
+    }
+
+    #[test]
+    fn skiplist_writes_fall_back_to_skip_links_past_a_dead_chain_link() {
+        let (t, _) = build(TopologyKind::SkipList, 16);
+        let c8 = t.cube_at_position(8).unwrap();
+        let c9 = t.cube_at_position(9).unwrap();
+        let dead = link_between(&t, c8, c9);
+        assert!(!t.link(dead).skip, "the chain link, not a bypass");
+        let r = RoutingTable::compute_avoiding(&t, &[dead]);
+        let far = t.cube_at_position(16).unwrap();
+        // Reads detour over skips as usual; writes — normally chain-only —
+        // degrade onto the read plane instead of partitioning.
+        assert!(r.reachable(PathClass::Read, t.host(), far));
+        assert!(r.reachable(PathClass::Write, t.host(), far));
+        assert!(r
+            .path_links(PathClass::Write, t.host(), far)
+            .iter()
+            .any(|&l| t.link(l).skip));
+        // Pairs the chain still serves keep their chain-only write routes.
+        let near = t.cube_at_position(2).unwrap();
+        assert!(r
+            .path_links(PathClass::Write, t.host(), near)
+            .iter()
+            .all(|&l| !t.link(l).skip));
+    }
+
+    #[test]
+    fn compute_avoiding_with_no_dead_links_matches_compute() {
+        for kind in TopologyKind::ALL {
+            let (t, healthy) = build(kind, 16);
+            let r = RoutingTable::compute_avoiding(&t, &[]);
+            for p in 1..=16 {
+                let c = t.cube_at_position(p).unwrap();
+                for class in PathClass::ALL {
+                    assert_eq!(
+                        r.path(class, t.host(), c),
+                        healthy.path(class, t.host(), c),
+                        "{kind} position {p}"
+                    );
+                }
+            }
+        }
     }
 }
