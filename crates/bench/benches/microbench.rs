@@ -6,7 +6,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use mn_noc::{Arbiter, ArbiterKind, Candidate, Network, NocConfig, Packet, PacketKind};
+use mn_noc::{ArbiterKind, Candidate, Network, NocConfig, Packet, PacketKind};
 use mn_sim::{EventQueue, SimTime};
 use mn_topo::{CubeTech, Placement, Topology, TopologyKind};
 
@@ -65,7 +65,7 @@ fn main() {
         ArbiterKind::Distance,
         ArbiterKind::AdaptiveDistance,
     ] {
-        let mut arb: Box<dyn Arbiter> = kind.instantiate(6);
+        let mut arb = kind.instantiate(6);
         bench(&format!("arbitration_{kind:?}"), 10_000, || {
             arb.pick(&candidates)
         });

@@ -1,18 +1,24 @@
 //! `kernel_bench` — the DES-kernel microbenchmark behind `BENCH_kernel.json`.
 //!
 //! Times the canonical *chain-640-requests* microbench (the paper-baseline
-//! chain MN driven to 640 completed requests) plus two larger reference
-//! points, and reports the kernel-health metrics the hot-path work targets:
+//! chain MN driven to 640 completed requests), two larger reference points,
+//! and a fault-enabled chain variant (CRC retry/replay exercises the
+//! retry-buffer path), and reports the kernel-health metrics the hot-path
+//! work targets:
 //!
 //! - **events/sec** and **ns/event** — wall time divided by the number of
 //!   discrete events processed. The event stream is part of the
 //!   bit-reproducible contract, so the denominator is stable across kernel
 //!   changes and the ratio tracks pure dispatch cost.
-//! - **peak queue depth** — the event heap's high-water mark; arbitration
-//!   coalescing and pre-sizing drive this down.
+//! - **peak queue depth** — the ladder queue's high-water mark.
 //! - **allocations per 1k events** — counted by a wrapping global
-//!   allocator; scratch-buffer reuse and slab tokens drive this toward
-//!   zero in the steady state.
+//!   allocator, both for the whole run and for the *steady state* alone
+//!   (the simulation loop after construction). Arena-backed packets and
+//!   pooled buffers drive the steady-state figure to zero.
+//! - **ladder spills / rewindows and arena high-water** — the kernel v3
+//!   counters ([`mn_sim::KernelCounters`]); spills say how often events
+//!   landed beyond the bucket window, the arena high-water bounds the
+//!   packet working set.
 //!
 //! Results go to stdout (human-readable) and to `BENCH_kernel.json`
 //! (`MN_BENCH_OUT` to relocate), so CI can archive the perf trajectory
@@ -20,25 +26,26 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use mn_core::{simulate_port, SystemConfig};
+use mn_sim::counters;
 use mn_topo::TopologyKind;
 use mn_workloads::Workload;
 
-/// A pass-through allocator that counts heap operations on the hot path.
-/// Lives in the binary (the workspace libraries `forbid(unsafe_code)`; the
-/// two calls below are the canonical delegating-allocator idiom).
+/// A pass-through allocator that counts heap operations on the hot path,
+/// feeding the process-global tally in `mn_sim::counters` (which the port
+/// simulator snapshots around its steady-state loop). Lives in the binary
+/// (the workspace libraries `forbid(unsafe_code)`; the two calls below are
+/// the canonical delegating-allocator idiom).
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
 // SAFETY: delegates verbatim to `System`, which upholds the GlobalAlloc
-// contract; the counter has no safety implications.
+// contract; the counter is a relaxed atomic add with no safety
+// implications (and no allocation of its own).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        counters::record_heap_alloc();
         unsafe { System.alloc(layout) }
     }
 
@@ -56,6 +63,8 @@ struct Case {
     requests: u64,
     workload: Workload,
     iters: u32,
+    /// Transient CRC fault rate (0.0 = healthy links).
+    fault_rate: f64,
 }
 
 struct Measurement {
@@ -65,6 +74,10 @@ struct Measurement {
     ns_per_event: f64,
     events_per_sec: f64,
     allocs_per_1k_events: f64,
+    steady_allocs_per_1k_events: f64,
+    bucket_spills: u64,
+    rewindows: u64,
+    arena_high_water: u64,
     wall_per_iter_ms: f64,
 }
 
@@ -72,14 +85,19 @@ fn run_case(case: &Case) -> Measurement {
     let mut config =
         SystemConfig::paper_baseline(case.topology, 1.0).expect("paper baseline is valid");
     config.requests_per_port = case.requests;
+    if case.fault_rate > 0.0 {
+        config.noc.fault.transient_rate = case.fault_rate;
+        config.noc.fault.seed = 7;
+    }
 
     // Warm up (page in code, size caches) outside the measured window.
     let reference = simulate_port(&config, case.workload, 0);
     let events = reference.kernel_events();
-    let queue_peak = reference.event_queue_peak();
+    let kernel = reference.kernel_counters();
 
-    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let alloc_start = counters::heap_allocs();
     let start = Instant::now();
+    let mut steady_allocs = 0u64;
     for _ in 0..case.iters {
         let obs = simulate_port(&config, case.workload, 0);
         assert_eq!(
@@ -87,20 +105,25 @@ fn run_case(case: &Case) -> Measurement {
             events,
             "event stream must be deterministic"
         );
+        steady_allocs += obs.kernel_counters().steady_heap_allocs;
         std::hint::black_box(&obs);
     }
     let wall = start.elapsed();
-    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    let allocs = counters::heap_allocs() - alloc_start;
 
     let total_events = events * u64::from(case.iters);
     let secs = wall.as_secs_f64();
     Measurement {
         name: case.name.to_string(),
         events_per_iter: events,
-        queue_peak,
+        queue_peak: kernel.queue_peak as usize,
         ns_per_event: secs * 1e9 / total_events as f64,
         events_per_sec: total_events as f64 / secs,
         allocs_per_1k_events: allocs as f64 * 1000.0 / total_events as f64,
+        steady_allocs_per_1k_events: steady_allocs as f64 * 1000.0 / total_events as f64,
+        bucket_spills: kernel.bucket_spills,
+        rewindows: kernel.rewindows,
+        arena_high_water: kernel.arena_high_water,
         wall_per_iter_ms: secs * 1e3 / f64::from(case.iters),
     }
 }
@@ -113,6 +136,7 @@ fn main() {
             requests: 640,
             workload: Workload::Dct,
             iters: 40,
+            fault_rate: 0.0,
         },
         Case {
             name: "tree-2k-requests",
@@ -120,6 +144,7 @@ fn main() {
             requests: 2_000,
             workload: Workload::Nw,
             iters: 10,
+            fault_rate: 0.0,
         },
         Case {
             name: "skiplist-2k-requests",
@@ -127,24 +152,49 @@ fn main() {
             requests: 2_000,
             workload: Workload::Backprop,
             iters: 10,
+            fault_rate: 0.0,
+        },
+        // Retry/replay path: transient CRC faults stretch link occupancy
+        // and touch the per-link retry buffers every few hundred packets.
+        Case {
+            name: "chain-640-faulty",
+            topology: TopologyKind::Chain,
+            requests: 640,
+            workload: Workload::Dct,
+            iters: 40,
+            fault_rate: 0.02,
         },
     ];
 
     println!(
-        "{:<22} {:>12} {:>10} {:>10} {:>14} {:>12} {:>12}",
-        "case", "events/iter", "peak q", "ns/event", "events/sec", "alloc/1kev", "ms/iter"
+        "{:<22} {:>12} {:>8} {:>9} {:>13} {:>11} {:>11} {:>7} {:>8} {:>8} {:>10}",
+        "case",
+        "events/iter",
+        "peak q",
+        "ns/event",
+        "events/sec",
+        "alloc/1kev",
+        "steady/1k",
+        "spills",
+        "rewind",
+        "arena",
+        "ms/iter"
     );
     let mut measurements = Vec::new();
     for case in &cases {
         let m = run_case(case);
         println!(
-            "{:<22} {:>12} {:>10} {:>10.1} {:>14.0} {:>12.2} {:>12.3}",
+            "{:<22} {:>12} {:>8} {:>9.1} {:>13.0} {:>11.2} {:>11.3} {:>7} {:>8} {:>8} {:>10.3}",
             m.name,
             m.events_per_iter,
             m.queue_peak,
             m.ns_per_event,
             m.events_per_sec,
             m.allocs_per_1k_events,
+            m.steady_allocs_per_1k_events,
+            m.bucket_spills,
+            m.rewindows,
+            m.arena_high_water,
             m.wall_per_iter_ms
         );
         measurements.push(m);
@@ -158,13 +208,19 @@ fn main() {
             json,
             "    {{\"name\":\"{}\",\"events_per_iter\":{},\"peak_queue_depth\":{},\
              \"ns_per_event\":{:.3},\"events_per_sec\":{:.0},\
-             \"allocs_per_1k_events\":{:.2},\"wall_per_iter_ms\":{:.3}}}{comma}",
+             \"allocs_per_1k_events\":{:.2},\"steady_allocs_per_1k_events\":{:.3},\
+             \"bucket_spills\":{},\"rewindows\":{},\"arena_high_water\":{},\
+             \"wall_per_iter_ms\":{:.3}}}{comma}",
             m.name,
             m.events_per_iter,
             m.queue_peak,
             m.ns_per_event,
             m.events_per_sec,
             m.allocs_per_1k_events,
+            m.steady_allocs_per_1k_events,
+            m.bucket_spills,
+            m.rewindows,
+            m.arena_high_water,
             m.wall_per_iter_ms
         );
     }

@@ -34,10 +34,13 @@
 //! (BACKPROP's failure mode on slow write paths).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use mn_mem::{EnergyPj, MemAccess, MemTechSpec, QuadrantController};
+use mn_mem::{Completion, EnergyPj, MemAccess, MemTechSpec, QuadrantController};
 use mn_noc::{Network, Packet, PacketKind, WriteBurstDetector};
-use mn_sim::{Histogram, SeqSlab, SimDuration, SimRng, SimTime, Watchdog};
+use mn_sim::{
+    counters, Histogram, KernelCounters, SeqSlab, SimDuration, SimRng, SimTime, Watchdog,
+};
 use mn_topo::{CubeTech, NodeId, PathClass, Topology, TopologyKind};
 use mn_workloads::{MemRef, TraceGenerator};
 
@@ -91,8 +94,7 @@ pub struct PortObservation {
     pub(crate) writes: u64,
     pub(crate) row_hit_rate: f64,
     pub(crate) avg_hops: f64,
-    pub(crate) kernel_events: u64,
-    pub(crate) queue_peak: usize,
+    pub(crate) kernel: KernelCounters,
 }
 
 impl PortObservation {
@@ -103,23 +105,41 @@ impl PortObservation {
     /// count is stable across kernel optimizations — which makes it the
     /// denominator `kernel_bench` uses to turn wall time into events/sec.
     pub fn kernel_events(&self) -> u64 {
-        self.kernel_events
+        self.kernel.events_processed
     }
 
     /// High-water mark of the network's event queue over the run.
     pub fn event_queue_peak(&self) -> usize {
-        self.queue_peak
+        self.kernel.queue_peak as usize
+    }
+
+    /// The full kernel counter snapshot for this port: queue traffic,
+    /// ladder spill/rewindow activity, arena high-water mark, and the
+    /// steady-state heap-allocation tally (non-zero only under a counting
+    /// allocator, e.g. `kernel_bench`).
+    pub fn kernel_counters(&self) -> KernelCounters {
+        self.kernel
     }
 }
 
 /// The end-to-end simulator for one port's memory network.
 #[derive(Debug)]
 pub(crate) struct PortSim {
-    topo: Topology,
+    topo: Arc<Topology>,
     net: Network,
     addr_map: AddressMap,
-    /// Controllers per cube node index (None for host/interface nodes).
-    controllers: Vec<Option<Vec<QuadrantController>>>,
+    /// Quadrant controllers for every cube, flattened into one dense array
+    /// (`QUADRANTS` consecutive entries per cube, in node order).
+    ctrl: Vec<QuadrantController>,
+    /// Per-node base index into `ctrl`; `u32::MAX` for host/interface
+    /// nodes, which have no memory behind them.
+    ctrl_base: Vec<u32>,
+    /// Exact minimum of every controller's `next_event_time` (`None` =
+    /// all idle). `enqueue` only moves a controller's next event earlier,
+    /// so the cache merges cheaply on enqueue and is recomputed only
+    /// after a pass that actually advanced a controller — turning the
+    /// per-timestep poll of every quadrant into one comparison.
+    ctrl_min: Option<SimTime>,
     cube_tech: Vec<Option<CubeTech>>,
     trace: TraceGenerator,
     detector: WriteBurstDetector,
@@ -133,6 +153,11 @@ pub(crate) struct PortSim {
 
     /// Wavefront slots waiting out their think time: (due, burst refs).
     thinking: Vec<(SimTime, Vec<MemRef>)>,
+    /// Recycled burst buffers: issued bursts return their (emptied) `Vec`
+    /// here so the steady state never allocates a fresh one.
+    ref_pool: Vec<Vec<MemRef>>,
+    /// Reusable completion buffer for controller ticks.
+    completions: Vec<Completion>,
     /// Remaining responses per in-flight burst, keyed by the sequential
     /// burst id (a ring-buffer slab, not a hash map — burst ids are issued
     /// monotonically, so lookup is an array index).
@@ -173,16 +198,21 @@ impl PortSim {
         let placement = config
             .placement()
             .expect("config validated before simulation");
-        let topo = Topology::build(config.topology, &placement)
-            .expect("placement is valid for every topology");
-        let net = Network::try_new(&topo, config.noc.clone())?;
+        let topo = Arc::new(
+            Topology::build(config.topology, &placement)
+                .expect("placement is valid for every topology"),
+        );
+        // The network shares the topology (`Arc::clone` bumps a refcount;
+        // the old path deep-cloned the adjacency and link tables per port).
+        let net = Network::try_new(Arc::clone(&topo), config.noc.clone())?;
         let addr_map = AddressMap::new(
             &topo,
             &placement,
             config.interleave_bytes,
             config.banks_per_quadrant,
         );
-        let mut controllers = Vec::with_capacity(topo.node_count());
+        let mut ctrl = Vec::new();
+        let mut ctrl_base = Vec::with_capacity(topo.node_count());
         let mut cube_tech = Vec::with_capacity(topo.node_count());
         for id in topo.node_ids() {
             match topo.node(id).kind {
@@ -191,29 +221,36 @@ impl PortSim {
                         CubeTech::Dram => MemTechSpec::dram_hbm(),
                         CubeTech::Nvm => MemTechSpec::nvm_pcm(),
                     };
-                    let quads = (0..QUADRANTS)
-                        .map(|_| {
-                            QuadrantController::new(
-                                spec,
-                                config.banks_per_quadrant,
-                                config.controller_queue,
-                            )
-                        })
-                        .collect();
-                    controllers.push(Some(quads));
+                    ctrl_base.push(u32::try_from(ctrl.len()).expect("controller count fits u32"));
+                    for _ in 0..QUADRANTS {
+                        ctrl.push(QuadrantController::new(
+                            spec,
+                            config.banks_per_quadrant,
+                            config.controller_queue,
+                        ));
+                    }
                     cube_tech.push(Some(tech));
                 }
                 _ => {
-                    controllers.push(None);
+                    ctrl_base.push(u32::MAX);
                     cube_tech.push(None);
                 }
             }
         }
+        // Steady-state sizing: every host-side container is reserved to
+        // its backpressure bound up front, so the simulation loop itself
+        // never grows one. A burst is at most `1 + 4 * burst_mean` refs
+        // (the geometric draw is capped there), `window` slots can each
+        // hold one burst, and tokens live from injection to response.
+        let burst_hint = (4.0 * trace.profile().burst_mean.max(1.0)) as usize + 1;
+        let slot_hint = config.window.max(1);
         Ok(PortSim {
             topo,
             net,
             addr_map,
-            controllers,
+            ctrl,
+            ctrl_base,
+            ctrl_min: None,
             cube_tech,
             trace,
             detector: WriteBurstDetector::paper_default(),
@@ -224,18 +261,22 @@ impl PortSim {
                 && config.topology == TopologyKind::SkipList,
             transport_pj_per_bit_hop: config.noc.transport_pj_per_bit_hop,
             watchdog_limit: config.watchdog_limit,
-            thinking: Vec::new(),
-            bursts: SeqSlab::with_capacity(config.window),
+            thinking: Vec::with_capacity(slot_hint),
+            ref_pool: (0..=slot_hint)
+                .map(|_| Vec::with_capacity(burst_hint))
+                .collect(),
+            completions: Vec::with_capacity(config.controller_queue.max(16)),
+            bursts: SeqSlab::with_capacity(2 * slot_hint),
             next_burst: 0,
             burst_rng: SimRng::seed_from(config.seed ^ 0xB0B5_7EA5),
             pulled: 0,
-            host_queue: VecDeque::new(),
+            host_queue: VecDeque::with_capacity(slot_hint * burst_hint),
             next_token: 0,
             outstanding: 0,
             outstanding_writes: 0,
             write_cap: config.host_write_buffer,
-            inflight: SeqSlab::with_capacity(2 * config.window),
-            pending_responses: Vec::new(),
+            inflight: SeqSlab::with_capacity(2 * slot_hint * burst_hint),
+            pending_responses: Vec::with_capacity(slot_hint * burst_hint),
             completed: 0,
             reads: 0,
             writes: 0,
@@ -258,6 +299,11 @@ impl PortSim {
     /// (livelock). Either way the error carries a state snapshot instead
     /// of hanging the calling worker.
     pub(crate) fn run(mut self) -> Result<PortObservation, SimError> {
+        // Steady-state allocation accounting starts here: construction
+        // (buffers, arenas, routing tables) is excluded, the simulation
+        // loop itself is what must not allocate. The tally is zero unless
+        // the binary installed a counting allocator.
+        let allocs_at_start = counters::heap_allocs();
         let mut now = SimTime::ZERO;
         // One ready buffer for the whole run; `Network::advance` refills it
         // in place every iteration of the hot loop.
@@ -300,6 +346,8 @@ impl PortSim {
 
         let (hits, accesses) = self.row_hit_counts();
         let delivered = self.net.stats().delivered.value().max(1);
+        let mut kernel = self.net.kernel_counters();
+        kernel.steady_heap_allocs = counters::heap_allocs() - allocs_at_start;
         Ok(PortObservation {
             wall: self.last_response_at,
             breakdown: self.breakdown,
@@ -321,8 +369,7 @@ impl PortSim {
                 hits as f64 / accesses as f64
             },
             avg_hops: self.hop_sum as f64 / delivered as f64,
-            kernel_events: self.net.events_processed(),
-            queue_peak: self.net.event_queue_peak(),
+            kernel,
         })
     }
 
@@ -350,7 +397,8 @@ impl PortSim {
         let mean = self.trace.profile().burst_mean.max(1.0);
         let p_stop = 1.0 / mean;
         let len = (1 + self.burst_rng.geometric(p_stop, (4.0 * mean) as u64)).min(remaining);
-        let mut refs = Vec::with_capacity(len as usize);
+        let mut refs = self.ref_pool.pop().unwrap_or_default();
+        refs.reserve(len as usize);
         let mut gap_sum = SimDuration::ZERO;
         for _ in 0..len {
             let r = self.trace.next().expect("trace is infinite");
@@ -387,7 +435,7 @@ impl PortSim {
         let mut i = 0;
         while i < self.thinking.len() {
             if self.thinking[i].0 <= now {
-                let (due, refs) = self.thinking.swap_remove(i);
+                let (due, mut refs) = self.thinking.swap_remove(i);
                 let burst = self.next_burst;
                 self.next_burst += 1;
                 // A slot waits only for its reads (§4.2: writes are off
@@ -395,11 +443,12 @@ impl PortSim {
                 // the writes have been issued.
                 let reads = refs.iter().filter(|r| !r.is_write).count() as u32;
                 self.bursts.insert(burst, reads);
-                for r in refs {
+                for r in refs.drain(..) {
                     let token = self.next_token;
                     self.next_token += 1;
                     self.host_queue.push_back((token, r, due, burst));
                 }
+                self.ref_pool.push(refs);
                 progress = true;
             } else {
                 i += 1;
@@ -478,16 +527,14 @@ impl PortSim {
             return;
         }
         // A cube: admit requests while their quadrant controller has room.
+        let base = self.ctrl_base[node.index()] as usize;
+        debug_assert!(base != u32::MAX as usize, "deliveries only at cubes");
         while let Some(head) = self.net.peek_delivery(node) {
             let token = head.token;
             let rec = self.inflight.get(token).expect("request is in flight");
             let quadrant = rec.decoded.quadrant;
             let is_write = head.kind == PacketKind::WriteRequest;
-            let has_space = self.controllers[node.index()]
-                .as_ref()
-                .expect("deliveries only at cubes")[quadrant as usize]
-                .has_space(is_write);
-            if !has_space {
+            if !self.ctrl[base + quadrant as usize].has_space(is_write) {
                 break;
             }
             let d = self.net.take_delivery(node, now).expect("peeked");
@@ -511,43 +558,62 @@ impl PortSim {
             } else {
                 MemAccess::read(token, rec.decoded.bank, rec.decoded.row)
             };
-            self.controllers[node.index()].as_mut().expect("cube")[quadrant as usize]
-                .enqueue(access, now + penalty)
+            let ctrl = &mut self.ctrl[base + quadrant as usize];
+            ctrl.enqueue(access, now + penalty)
                 .expect("has_space checked");
+            // Enqueueing can only move this controller's next event
+            // earlier, so a min-merge keeps the cache exact.
+            self.ctrl_min = match (self.ctrl_min, ctrl.next_event_time()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
         }
     }
 
     /// Advances every controller that can act at `now`; queues responses.
     fn advance_controllers(&mut self, now: SimTime) -> bool {
+        // No controller is due: the scan below would visit every quadrant
+        // only to skip each one. The cache is the exact minimum, so this
+        // early-out is behavior-preserving.
+        if self.ctrl_min.is_none_or(|t| t > now) {
+            return false;
+        }
         let mut progress = false;
-        for idx in 0..self.controllers.len() {
-            let Some(quads) = self.controllers[idx].as_mut() else {
+        // One completion buffer for the whole pass (and, via the struct
+        // field, for the whole run) — `advance_into` appends in place.
+        let mut done = std::mem::take(&mut self.completions);
+        for idx in 0..self.ctrl_base.len() {
+            let base = self.ctrl_base[idx];
+            if base == u32::MAX {
                 continue;
-            };
-            for (q, ctrl) in quads.iter_mut().enumerate() {
+            }
+            for q in 0..QUADRANTS as usize {
+                let ctrl = &mut self.ctrl[base as usize + q];
                 if ctrl.next_event_time().is_none_or(|t| t > now) {
                     continue;
                 }
-                for done in ctrl.advance(now) {
+                done.clear();
+                ctrl.advance_into(now, &mut done);
+                let spec = *ctrl.spec();
+                for c in done.drain(..) {
                     progress = true;
                     let rec = self
                         .inflight
-                        .get_mut(done.token)
+                        .get_mut(c.token)
                         .expect("completion maps to in-flight request");
-                    rec.mem_done = done.completed_at;
+                    rec.mem_done = c.completed_at;
                     self.breakdown
                         .in_memory
-                        .record(done.completed_at.saturating_since(rec.arrived_at_cube));
-                    let spec = ctrl.spec();
-                    let energy = EnergyPj::array_access(&spec.energy, ACCESS_BITS, done.is_write);
-                    if done.is_write {
+                        .record(c.completed_at.saturating_since(rec.arrived_at_cube));
+                    let energy = EnergyPj::array_access(&spec.energy, ACCESS_BITS, c.is_write);
+                    if c.is_write {
                         self.write_energy += energy;
                     } else {
                         self.read_energy += energy;
                     }
                     let response = Packet::response_to(&rec.request, rec.tech == CubeTech::Nvm);
                     self.pending_responses.push(PendingResponse {
-                        ready_at: done.completed_at,
+                        ready_at: c.completed_at,
                         cube: NodeId(idx as u32),
                         quadrant: q as u32,
                         packet: response,
@@ -555,6 +621,14 @@ impl PortSim {
                 }
             }
         }
+        self.completions = done;
+        // Advancing pushes next-event times later (or to idle); recompute
+        // the cached minimum from the memoized per-controller values.
+        self.ctrl_min = self
+            .ctrl
+            .iter()
+            .filter_map(QuadrantController::next_event_time)
+            .min();
         progress
     }
 
@@ -624,12 +698,8 @@ impl PortSim {
         if let Some(t) = self.net.next_event_time() {
             consider(t.max(now + SimDuration::from_ps(1)));
         }
-        for quads in self.controllers.iter().flatten() {
-            for ctrl in quads {
-                if let Some(t) = ctrl.next_event_time() {
-                    consider(t.max(now + SimDuration::from_ps(1)));
-                }
-            }
+        if let Some(t) = self.ctrl_min {
+            consider(t.max(now + SimDuration::from_ps(1)));
         }
         for p in &self.pending_responses {
             consider(p.ready_at.max(now + SimDuration::from_ps(1)));
@@ -640,11 +710,9 @@ impl PortSim {
     fn row_hit_counts(&self) -> (u64, u64) {
         let mut hits = 0;
         let mut total = 0;
-        for quads in self.controllers.iter().flatten() {
-            for ctrl in quads {
-                total += ctrl.accesses();
-                hits += (ctrl.row_hit_rate() * ctrl.accesses() as f64).round() as u64;
-            }
+        for ctrl in &self.ctrl {
+            total += ctrl.accesses();
+            hits += (ctrl.row_hit_rate() * ctrl.accesses() as f64).round() as u64;
         }
         (hits, total)
     }
@@ -852,6 +920,6 @@ mod tests {
         let a = run(&c, Workload::Kmeans);
         let b = run(&c, Workload::Kmeans);
         assert_eq!(a.wall, b.wall);
-        assert_eq!(a.kernel_events, b.kernel_events);
+        assert_eq!(a.kernel_events(), b.kernel_events());
     }
 }

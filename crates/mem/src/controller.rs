@@ -144,8 +144,10 @@ impl QuadrantController {
             banks: vec![Bank::new(); banks as usize],
             reads: VecDeque::with_capacity(capacity),
             read_capacity: capacity,
-            writes_unacked: VecDeque::new(),
-            writes_buffered: VecDeque::new(),
+            // Full-capacity reserves: `has_space` bounds the queues, so a
+            // controller sized here never reallocates mid-simulation.
+            writes_unacked: VecDeque::with_capacity(capacity * 2),
+            writes_buffered: VecDeque::with_capacity(capacity * 2),
             write_capacity: capacity * 2,
             next_seq: 0,
             next_refresh: spec.timings.refresh_interval.map(|i| SimTime::ZERO + i),
@@ -218,8 +220,16 @@ impl QuadrantController {
     /// Issues every access that can start at or before `now`, returning
     /// read completions and write acknowledgments.
     pub fn advance(&mut self, now: SimTime) -> Vec<Completion> {
-        self.maybe_refresh(now);
         let mut done = Vec::new();
+        self.advance_into(now, &mut done);
+        done
+    }
+
+    /// Like [`QuadrantController::advance`], but appends completions to a
+    /// caller-owned buffer so the simulation hot loop can reuse one
+    /// allocation across every controller tick.
+    pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<Completion>) {
+        self.maybe_refresh(now);
 
         // Acknowledge arrived writes: data accepted after one burst time.
         let mut i = 0;
@@ -265,7 +275,6 @@ impl QuadrantController {
             }
         }
         self.next_cache = self.compute_next_event_time();
-        done
     }
 
     /// Flushes one dirty, free, unwanted bank. Returns true if one flushed.

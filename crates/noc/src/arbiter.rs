@@ -39,12 +39,56 @@ pub enum ArbiterKind {
 
 impl ArbiterKind {
     /// Instantiates the arbitration state for one router output.
-    pub fn instantiate(self, input_ports: usize) -> Box<dyn Arbiter> {
+    pub fn instantiate(self, input_ports: usize) -> ArbiterImpl {
         match self {
-            ArbiterKind::RoundRobin => Box::new(RoundRobinArbiter::new(input_ports)),
-            ArbiterKind::Distance => Box::new(DistanceArbiter::new(input_ports, false)),
-            ArbiterKind::AdaptiveDistance => Box::new(DistanceArbiter::new(input_ports, true)),
-            ArbiterKind::OracleAge => Box::new(OldestFirstArbiter::new(input_ports)),
+            ArbiterKind::RoundRobin => ArbiterImpl::RoundRobin(RoundRobinArbiter::new(input_ports)),
+            ArbiterKind::Distance => {
+                ArbiterImpl::Distance(DistanceArbiter::new(input_ports, false))
+            }
+            ArbiterKind::AdaptiveDistance => {
+                ArbiterImpl::Distance(DistanceArbiter::new(input_ports, true))
+            }
+            ArbiterKind::OracleAge => {
+                ArbiterImpl::OldestFirst(OldestFirstArbiter::new(input_ports))
+            }
+        }
+    }
+}
+
+/// The arbitration state for one router output: a closed enum over the
+/// concrete policies, so the per-arbitration `pick`/`weigh` calls are a
+/// predictable match dispatch (inlinable, no vtable indirection) and the
+/// router can store its arbiters in one flat `Vec<ArbiterImpl>` instead of
+/// a `Vec<Box<dyn Arbiter>>` of scattered heap cells.
+#[derive(Debug, Clone)]
+pub enum ArbiterImpl {
+    /// Cyclic round-robin state.
+    RoundRobin(RoundRobinArbiter),
+    /// Smooth weighted round-robin credit state (both the plain and the
+    /// adaptive §5.3 variants — adaptivity is a flag inside).
+    Distance(DistanceArbiter),
+    /// Oracle oldest-injection-first state.
+    OldestFirst(OldestFirstArbiter),
+}
+
+impl ArbiterImpl {
+    /// Picks the winning candidate; see [`Arbiter::pick`].
+    #[inline]
+    pub fn pick(&mut self, candidates: &[Candidate]) -> usize {
+        match self {
+            ArbiterImpl::RoundRobin(a) => Arbiter::pick(a, candidates),
+            ArbiterImpl::Distance(a) => Arbiter::pick(a, candidates),
+            ArbiterImpl::OldestFirst(a) => Arbiter::pick(a, candidates),
+        }
+    }
+
+    /// The weight this policy assigns a packet; see [`Arbiter::weigh`].
+    #[inline]
+    pub fn weigh(&self, packet: &Packet) -> u64 {
+        match self {
+            ArbiterImpl::RoundRobin(a) => Arbiter::weigh(a, packet),
+            ArbiterImpl::Distance(a) => Arbiter::weigh(a, packet),
+            ArbiterImpl::OldestFirst(a) => Arbiter::weigh(a, packet),
         }
     }
 }

@@ -78,11 +78,12 @@ mod policy;
 mod stats;
 
 pub use arbiter::{
-    Arbiter, ArbiterKind, Candidate, DistanceArbiter, OldestFirstArbiter, RoundRobinArbiter,
+    Arbiter, ArbiterImpl, ArbiterKind, Candidate, DistanceArbiter, OldestFirstArbiter,
+    RoundRobinArbiter,
 };
 pub use config::{LinkDuplex, LinkTiming, NocConfig};
 pub use fault::{FaultConfig, FaultModel, FaultStats};
-pub use network::{Delivery, Network, NetworkError, NetworkFull};
+pub use network::{Delivery, IntoSharedTopology, Network, NetworkError, NetworkFull};
 pub use packet::{Packet, PacketId, PacketKind, VirtualChannel};
 pub use policy::WriteBurstDetector;
 pub use stats::NetStats;

@@ -28,15 +28,52 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use mn_sim::{EventQueue, SimTime};
+use mn_sim::{ArenaRef, EventQueue, GenArena, KernelCounters, SimTime};
 use mn_topo::{NodeId, NodeKind, PathClass, RoutingTable, Topology};
 
-use crate::arbiter::{Arbiter, Candidate};
+use crate::arbiter::{ArbiterImpl, Candidate};
 use crate::config::{LinkDuplex, NocConfig};
 use crate::fault::{FaultModel, FaultStats};
 use crate::packet::{Packet, PacketId, VirtualChannel};
 use crate::stats::NetStats;
+
+const VC: usize = VirtualChannel::COUNT;
+
+/// Conversion into a shared topology handle for [`Network`] construction.
+///
+/// Campaigns fan thousands of short per-port jobs over the same topology;
+/// passing an `Arc<Topology>` (or a reference to one) shares it, while a
+/// plain `&Topology` clones once for callers that don't care.
+pub trait IntoSharedTopology {
+    /// Produces the shared handle.
+    fn into_shared(self) -> Arc<Topology>;
+}
+
+impl IntoSharedTopology for Arc<Topology> {
+    fn into_shared(self) -> Arc<Topology> {
+        self
+    }
+}
+
+impl IntoSharedTopology for &Arc<Topology> {
+    fn into_shared(self) -> Arc<Topology> {
+        Arc::clone(self)
+    }
+}
+
+impl IntoSharedTopology for Topology {
+    fn into_shared(self) -> Arc<Topology> {
+        Arc::new(self)
+    }
+}
+
+impl IntoSharedTopology for &Topology {
+    fn into_shared(self) -> Arc<Topology> {
+        Arc::new(self.clone())
+    }
+}
 
 /// Error returned when a local injection buffer has no space; retry after
 /// the network drains.
@@ -101,7 +138,8 @@ pub struct Delivery {
 
 #[derive(Debug, Default)]
 struct Buf {
-    queue: VecDeque<(Packet, SimTime)>,
+    /// Handles into the network's packet arena, with arrival timestamps.
+    queue: VecDeque<(ArenaRef, SimTime)>,
     reserved: usize,
     capacity: usize,
 }
@@ -121,40 +159,53 @@ impl Buf {
         self.queue.len() + self.reserved < self.capacity
     }
 
-    fn head(&self) -> Option<&Packet> {
-        self.queue.front().map(|(p, _)| p)
+    fn head(&self) -> Option<ArenaRef> {
+        self.queue.front().map(|&(h, _)| h)
     }
 }
 
-struct NodeState {
-    ext_ports: usize,
-    local_ports: usize,
-    /// Input buffers indexed `[port][vc]`; ports are externals first (in
-    /// adjacency order) then locals.
-    bufs: Vec<[Buf; VirtualChannel::COUNT]>,
-    /// Ejection buffers per VC.
-    eject: [Buf; VirtualChannel::COUNT],
-    /// Arbiters per output: one per external port, plus ejection (last).
-    arbiters: Vec<Box<dyn Arbiter>>,
+/// Per-node geometry into the struct-of-arrays router state: all input
+/// buffers live in one flat `Vec<Buf>` (indexed
+/// `buf_base + port * VC + vc`), all arbiters in one flat
+/// `Vec<ArbiterImpl>` (indexed `arb_base + output`, ejection last), so a
+/// node's hot state is contiguous instead of scattered behind per-node
+/// `Vec`s and boxed trait objects. Ports are externals first (in adjacency
+/// order) then locals.
+#[derive(Debug, Clone, Copy)]
+struct NodeMeta {
+    ext_ports: u32,
+    local_ports: u32,
+    buf_base: u32,
+    arb_base: u32,
 }
 
-impl fmt::Debug for NodeState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("NodeState")
-            .field("ext_ports", &self.ext_ports)
-            .field("local_ports", &self.local_ports)
-            .finish_non_exhaustive()
+impl NodeMeta {
+    #[inline]
+    fn total_ports(self) -> usize {
+        (self.ext_ports + self.local_ports) as usize
+    }
+
+    #[inline]
+    fn buf_idx(self, port: usize, vc: usize) -> usize {
+        self.buf_base as usize + port * VC + vc
+    }
+
+    /// Arbiter index for external output `out` (`out == ext_ports` is the
+    /// ejection output).
+    #[inline]
+    fn arb_idx(self, out: usize) -> usize {
+        self.arb_base as usize + out
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum NetEvent {
     /// A packet finishes traversing a link and lands in `node`'s input
     /// buffer at `port`.
     Arrive {
         node: NodeId,
         port: usize,
-        packet: Packet,
+        packet: ArenaRef,
     },
     /// Run arbitration at `node`.
     TryArb { node: NodeId },
@@ -170,10 +221,22 @@ enum NetEvent {
 /// See the crate-level docs for an end-to-end example.
 #[derive(Debug)]
 pub struct Network {
-    topo: Topology,
+    topo: Arc<Topology>,
     routes: RoutingTable,
     config: NocConfig,
-    nodes: Vec<NodeState>,
+    /// Per-node geometry into the flat state vectors below.
+    meta: Vec<NodeMeta>,
+    /// All input buffers, struct-of-arrays: `meta[n].buf_idx(port, vc)`.
+    bufs: Vec<Buf>,
+    /// All ejection buffers: `node * VC + vc`.
+    eject: Vec<Buf>,
+    /// All arbiters: `meta[n].arb_idx(output)`, ejection last per node.
+    arbiters: Vec<ArbiterImpl>,
+    /// Every packet inside the network (buffered or in flight) lives here;
+    /// buffers and events carry 8-byte [`ArenaRef`] handles. Slots recycle
+    /// through a free list, so past the high-water mark the steady-state
+    /// path allocates nothing per packet.
+    packets: GenArena<Packet>,
     /// `link_free_at[link][dir]`; dir 0 is a→b.
     link_free_at: Vec<[SimTime; 2]>,
     /// `neighbor_ports[node][out_port]`: the input-port index our link
@@ -197,6 +260,13 @@ pub struct Network {
     /// Per-node membership flag for the in-progress `advance` ready list —
     /// structural dedup instead of a sort+dedup pass per call.
     ready_pending: Vec<bool>,
+    /// Packets currently sitting in each node's *input* buffers (not
+    /// ejection). A `TryArb` on a node with zero buffered packets cannot
+    /// move anything — neither the ejection nor any link-output scan can
+    /// find a head — so `arbitrate` early-outs on this count. Wake
+    /// cascades re-arm nodes aggressively, making empty-node arbitrations
+    /// the most common event in a steady-state run.
+    buffered: Vec<u32>,
     /// Reusable arbitration candidate buffer (cleared before each use).
     scratch: Vec<Candidate>,
     next_packet_id: u64,
@@ -215,27 +285,34 @@ impl Network {
     /// Panics if `config` fails validation (see [`NocConfig::validate`])
     /// or if fault injection partitioned the network — use
     /// [`Network::try_new`] to handle partitions structurally.
-    pub fn new(topo: &Topology, config: NocConfig) -> Network {
+    pub fn new(topo: impl IntoSharedTopology, config: NocConfig) -> Network {
         Network::try_new(topo, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the network, reporting a [`NetworkError::Partitioned`] when
     /// hard link faults leave some cube with no route to the host.
     ///
+    /// Accepts an `Arc<Topology>` (shared — campaigns fanning out per-port
+    /// jobs reuse one topology allocation) or a `&Topology` (cloned once).
+    ///
     /// # Panics
     ///
     /// Panics if `config` fails validation (see [`NocConfig::validate`]).
-    pub fn try_new(topo: &Topology, config: NocConfig) -> Result<Network, NetworkError> {
+    pub fn try_new(
+        topo: impl IntoSharedTopology,
+        config: NocConfig,
+    ) -> Result<Network, NetworkError> {
+        let topo = topo.into_shared();
         config.validate();
         let faults = config
             .fault
             .enabled()
-            .then(|| FaultModel::build(topo, config.fault.clone()));
+            .then(|| FaultModel::build(&topo, config.fault.clone()));
         let dead = faults.as_ref().map_or(&[][..], |fm| fm.dead_links());
         let routes = if dead.is_empty() {
             topo.routing()
         } else {
-            let routes = RoutingTable::compute_avoiding(topo, dead);
+            let routes = RoutingTable::compute_avoiding(&topo, dead);
             // Every cube must exchange traffic with the host on both path
             // classes (after the write→read degradation inside
             // `compute_avoiding`); anything less would strand packets.
@@ -254,7 +331,10 @@ impl Network {
             }
             routes
         };
-        let mut nodes = Vec::with_capacity(topo.node_count());
+        let mut meta = Vec::with_capacity(topo.node_count());
+        let mut bufs = Vec::new();
+        let mut eject = Vec::with_capacity(topo.node_count() * VC);
+        let mut arbiters = Vec::new();
         let mut link_ports = vec![Vec::new(); topo.node_count()];
         for id in topo.node_ids() {
             let ext_ports = topo.degree(id);
@@ -269,30 +349,36 @@ impl Network {
                 link_ports[id.index()].push((link, port));
             }
             let total_ports = ext_ports + local_ports;
-            let bufs = (0..total_ports)
-                .map(|_| {
-                    [
-                        Buf::with_capacity(config.buffer_packets),
-                        Buf::with_capacity(config.buffer_packets),
-                    ]
-                })
-                .collect();
-            let eject = [
-                Buf::with_capacity(config.ejection_packets),
-                Buf::with_capacity(config.ejection_packets),
-            ];
+            let buf_base = u32::try_from(bufs.len()).expect("buffer count fits u32");
+            for _ in 0..total_ports * VC {
+                bufs.push(Buf::with_capacity(config.buffer_packets));
+            }
+            for _ in 0..VC {
+                eject.push(Buf::with_capacity(config.ejection_packets));
+            }
             // One arbiter per external output port plus one for ejection.
-            let arbiters = (0..=ext_ports)
-                .map(|_| config.arbiter.instantiate(total_ports))
-                .collect();
-            nodes.push(NodeState {
-                ext_ports,
-                local_ports,
-                bufs,
-                eject,
-                arbiters,
+            let arb_base = u32::try_from(arbiters.len()).expect("arbiter count fits u32");
+            for _ in 0..=ext_ports {
+                arbiters.push(config.arbiter.instantiate(total_ports));
+            }
+            meta.push(NodeMeta {
+                ext_ports: ext_ports as u32,
+                local_ports: local_ports as u32,
+                buf_base,
+                arb_base,
             });
         }
+        // Every live packet sits in some buffer slot or is in flight on a
+        // link (a handful per direction at most — serialization admits one
+        // packet at a time and the SerDes pipeline is short). Sizing the
+        // arena for that bound up front keeps the steady state free of
+        // slot-vector growth.
+        let arena_capacity = bufs
+            .iter()
+            .chain(eject.iter())
+            .map(|b| b.capacity)
+            .sum::<usize>()
+            + 8 * topo.link_count();
         let neighbor_ports = topo
             .node_ids()
             .map(|id| {
@@ -318,18 +404,23 @@ impl Network {
         Ok(Network {
             routes,
             config,
-            nodes,
+            meta,
+            bufs,
+            eject,
+            arbiters,
+            packets: GenArena::with_capacity(arena_capacity),
             link_free_at: vec![[SimTime::ZERO; 2]; topo.link_count()],
             neighbor_ports,
             events: EventQueue::with_capacity(event_capacity),
             arb_clean: vec![false; topo.node_count()],
             last_arb: vec![SimTime::ZERO; topo.node_count()],
             ready_pending: vec![false; topo.node_count()],
+            buffered: vec![0; topo.node_count()],
             scratch: Vec::with_capacity(16),
             next_packet_id: 0,
             stats,
             faults,
-            topo: topo.clone(),
+            topo,
         })
     }
 
@@ -351,19 +442,19 @@ impl Network {
     /// Number of local injection ports at `node` (1 for the host, 4 for
     /// cubes, 0 for interface chips).
     pub fn local_ports(&self, node: NodeId) -> usize {
-        self.nodes[node.index()].local_ports
+        self.meta[node.index()].local_ports as usize
     }
 
     /// True if `packet` could be injected at `node`/`local_port` right now.
     pub fn can_inject(&self, node: NodeId, local_port: usize, packet: &Packet) -> bool {
-        let state = &self.nodes[node.index()];
+        let meta = self.meta[node.index()];
         assert!(
-            local_port < state.local_ports,
+            local_port < meta.local_ports as usize,
             "node {node} has {} local ports, got {local_port}",
-            state.local_ports
+            meta.local_ports
         );
-        let port = state.ext_ports + local_port;
-        state.bufs[port][packet.kind.virtual_channel().index()].has_space()
+        let port = meta.ext_ports as usize + local_port;
+        self.bufs[meta.buf_idx(port, packet.kind.virtual_channel().index())].has_space()
     }
 
     /// Injects `packet` into `node`'s local port.
@@ -390,10 +481,14 @@ impl Network {
         let id = PacketId(self.next_packet_id);
         self.next_packet_id += 1;
         packet.assign_id(id, now);
-        let state = &mut self.nodes[node.index()];
-        let port = state.ext_ports + local_port;
+        let meta = self.meta[node.index()];
+        let port = meta.ext_ports as usize + local_port;
         let vc = packet.kind.virtual_channel().index();
-        state.bufs[port][vc].queue.push_back((packet, now));
+        let handle = self.packets.insert(packet);
+        self.bufs[meta.buf_idx(port, vc)]
+            .queue
+            .push_back((handle, now));
+        self.buffered[node.index()] += 1;
         self.stats.injected.incr();
         self.request_arb(node, now);
         Ok(id)
@@ -461,9 +556,11 @@ impl Network {
     /// Pops the oldest deliverable packet at `node` (responses before
     /// requests), freeing ejection space — which may unblock the network.
     pub fn take_delivery(&mut self, node: NodeId, now: SimTime) -> Option<Delivery> {
-        let state = &mut self.nodes[node.index()];
         for vc in VirtualChannel::PRIORITY_ORDER {
-            if let Some((packet, arrived_at)) = state.eject[vc.index()].queue.pop_front() {
+            if let Some((handle, arrived_at)) =
+                self.eject[node.index() * VC + vc.index()].queue.pop_front()
+            {
+                let packet = self.packets.remove(handle);
                 self.stats.delivered.incr();
                 self.request_arb(node, now);
                 return Some(Delivery {
@@ -480,16 +577,18 @@ impl Network {
     /// without removing it. Lets cube logic check controller space before
     /// committing — the backpressure path.
     pub fn peek_delivery(&self, node: NodeId) -> Option<&Packet> {
-        let state = &self.nodes[node.index()];
-        VirtualChannel::PRIORITY_ORDER
-            .iter()
-            .find_map(|vc| state.eject[vc.index()].head())
+        VirtualChannel::PRIORITY_ORDER.iter().find_map(|vc| {
+            self.eject[node.index() * VC + vc.index()]
+                .head()
+                .map(|h| self.packets.get(h).expect("ejected packet is live"))
+        })
     }
 
     /// True if `node` has a deliverable packet waiting.
     pub fn has_delivery(&self, node: NodeId) -> bool {
-        let state = &self.nodes[node.index()];
-        state.eject.iter().any(|b| !b.queue.is_empty())
+        self.eject[node.index() * VC..node.index() * VC + VC]
+            .iter()
+            .any(|b| !b.queue.is_empty())
     }
 
     /// Total packets currently inside the network (buffered or in flight).
@@ -497,23 +596,35 @@ impl Network {
         self.stats.injected.value() - self.stats.delivered.value()
     }
 
-    fn handle_arrival(&mut self, node: NodeId, port: usize, mut packet: Packet, now: SimTime) {
+    fn handle_arrival(&mut self, node: NodeId, port: usize, handle: ArenaRef, now: SimTime) {
+        let packet = self
+            .packets
+            .get_mut(handle)
+            .expect("in-flight packet is live");
         packet.record_hop();
+        let kind = packet.kind;
         self.stats.hops.incr();
-        self.stats.bit_hops += u64::from(self.config.packet_bytes(packet.kind)) * 8;
-        let vc = packet.kind.virtual_channel().index();
-        let state = &mut self.nodes[node.index()];
-        let buf = &mut state.bufs[port][vc];
+        self.stats.bit_hops += u64::from(self.config.packet_bytes(kind)) * 8;
+        let vc = kind.virtual_channel().index();
+        let buf = &mut self.bufs[self.meta[node.index()].buf_idx(port, vc)];
         debug_assert!(buf.reserved > 0, "arrival without reservation");
         buf.reserved -= 1;
-        buf.queue.push_back((packet, now));
+        buf.queue.push_back((handle, now));
+        self.buffered[node.index()] += 1;
         self.request_arb(node, now);
     }
 
     /// Runs arbitration for every output of `node` that can act at `now`.
     fn arbitrate(&mut self, node: NodeId, now: SimTime, ready: &mut Vec<NodeId>) {
+        if self.buffered[node.index()] == 0 {
+            // Nothing in any input buffer: every scan below would come up
+            // empty. Skipping them is observationally identical — no
+            // packet moves, no stats counter fires on an empty candidate
+            // set.
+            return;
+        }
         self.arbitrate_ejection(node, now, ready);
-        let ext_ports = self.nodes[node.index()].ext_ports;
+        let ext_ports = self.meta[node.index()].ext_ports as usize;
         for out_port in 0..ext_ports {
             self.arbitrate_link_output(node, out_port, now);
         }
@@ -522,20 +633,23 @@ impl Network {
     /// Moves packets destined for `node` itself from input buffers into the
     /// ejection buffers (intra-router, no link time).
     fn arbitrate_ejection(&mut self, node: NodeId, now: SimTime, ready: &mut Vec<NodeId>) {
+        let n = node.index();
+        let meta = self.meta[n];
+        let total_ports = meta.total_ports();
+        let eject_arb = meta.arb_idx(meta.ext_ports as usize);
         let mut candidates = std::mem::take(&mut self.scratch);
         loop {
-            let state = &self.nodes[node.index()];
-            let eject_output = state.ext_ports; // arbiter index for ejection
             let mut chosen: Option<(usize, usize)> = None; // (port, vc)
             for vc in VirtualChannel::PRIORITY_ORDER {
-                if !state.eject[vc.index()].has_space() {
+                if !self.eject[n * VC + vc.index()].has_space() {
                     continue;
                 }
                 candidates.clear();
-                for port in 0..state.bufs.len() {
-                    if let Some(head) = state.bufs[port][vc.index()].head() {
+                for port in 0..total_ports {
+                    if let Some(handle) = self.bufs[meta.buf_idx(port, vc.index())].head() {
+                        let head = self.packets.get(handle).expect("buffered packet is live");
                         if head.dst == node {
-                            let weight = state.arbiters[eject_output].weigh(head);
+                            let weight = self.arbiters[eject_arb].weigh(head);
                             candidates.push(Candidate {
                                 input_port: port,
                                 weight,
@@ -545,18 +659,20 @@ impl Network {
                 }
                 if !candidates.is_empty() {
                     self.stats.arbitration_rounds.incr();
-                    let state = &mut self.nodes[node.index()];
-                    let i = state.arbiters[eject_output].pick(&candidates);
+                    let i = self.arbiters[eject_arb].pick(&candidates);
                     chosen = Some((candidates[i].input_port, vc.index()));
                     break;
                 }
             }
             let Some((port, vc)) = chosen else { break };
-            let state = &mut self.nodes[node.index()];
-            let (packet, _) = state.bufs[port][vc].queue.pop_front().expect("head exists");
-            state.eject[vc].queue.push_back((packet, now));
-            if !self.ready_pending[node.index()] {
-                self.ready_pending[node.index()] = true;
+            let (handle, _) = self.bufs[meta.buf_idx(port, vc)]
+                .queue
+                .pop_front()
+                .expect("head exists");
+            self.buffered[n] -= 1;
+            self.eject[n * VC + vc].queue.push_back((handle, now));
+            if !self.ready_pending[n] {
+                self.ready_pending[n] = true;
                 ready.push(node);
             }
             self.wake_upstream(node, port, now);
@@ -590,47 +706,47 @@ impl Network {
         }
         // Which port does this link occupy at the neighbor?
         let neighbor_port = self.neighbor_ports[node.index()][out_port];
+        let meta = self.meta[node.index()];
+        let neighbor_meta = self.meta[neighbor.index()];
+        let total_ports = meta.total_ports();
+        let out_arb = meta.arb_idx(out_port);
 
         let mut candidates = std::mem::take(&mut self.scratch);
         let mut selection: Option<(usize, usize)> = None; // (input port, vc)
-        {
-            let state = &self.nodes[node.index()];
-            for vc in VirtualChannel::PRIORITY_ORDER {
-                // Candidates need downstream buffer space on their VC.
-                if !self.nodes[neighbor.index()].bufs[neighbor_port][vc.index()].has_space() {
+        for vc in VirtualChannel::PRIORITY_ORDER {
+            // Candidates need downstream buffer space on their VC.
+            if !self.bufs[neighbor_meta.buf_idx(neighbor_port, vc.index())].has_space() {
+                continue;
+            }
+            candidates.clear();
+            for port in 0..total_ports {
+                if port == out_port {
                     continue;
                 }
-                candidates.clear();
-                for port in 0..state.bufs.len() {
-                    if port == out_port {
-                        continue;
-                    }
-                    let Some(head) = state.bufs[port][vc.index()].head() else {
-                        continue;
-                    };
-                    if head.dst == node {
-                        continue; // ejection's job
-                    }
-                    let Some((_, next_link)) = self.routes.next_hop(head.class, node, head.dst)
-                    else {
-                        continue;
-                    };
-                    if next_link != link {
-                        continue;
-                    }
-                    let weight = state.arbiters[out_port].weigh(head);
-                    candidates.push(Candidate {
-                        input_port: port,
-                        weight,
-                    });
+                let Some(handle) = self.bufs[meta.buf_idx(port, vc.index())].head() else {
+                    continue;
+                };
+                let head = self.packets.get(handle).expect("buffered packet is live");
+                if head.dst == node {
+                    continue; // ejection's job
                 }
-                if !candidates.is_empty() {
-                    self.stats.arbitration_rounds.incr();
-                    let state = &mut self.nodes[node.index()];
-                    let i = state.arbiters[out_port].pick(&candidates);
-                    selection = Some((candidates[i].input_port, vc.index()));
-                    break;
+                let Some((_, next_link)) = self.routes.next_hop(head.class, node, head.dst) else {
+                    continue;
+                };
+                if next_link != link {
+                    continue;
                 }
+                let weight = self.arbiters[out_arb].weigh(head);
+                candidates.push(Candidate {
+                    input_port: port,
+                    weight,
+                });
+            }
+            if !candidates.is_empty() {
+                self.stats.arbitration_rounds.incr();
+                let i = self.arbiters[out_arb].pick(&candidates);
+                selection = Some((candidates[i].input_port, vc.index()));
+                break;
             }
         }
         candidates.clear();
@@ -639,15 +755,20 @@ impl Network {
             return;
         };
 
-        let state = &mut self.nodes[node.index()];
-        let (packet, _) = state.bufs[in_port][vc]
+        let (handle, _) = self.bufs[meta.buf_idx(in_port, vc)]
             .queue
             .pop_front()
             .expect("selected head exists");
-        self.nodes[neighbor.index()].bufs[neighbor_port][vc].reserved += 1;
+        self.buffered[node.index()] -= 1;
+        self.bufs[neighbor_meta.buf_idx(neighbor_port, vc)].reserved += 1;
 
+        let kind = self
+            .packets
+            .get(handle)
+            .expect("selected packet is live")
+            .kind;
         let timing = self.config.link_timing(link_info.class);
-        let mut ser = timing.serialize(self.config.packet_bytes(packet.kind));
+        let mut ser = timing.serialize(self.config.packet_bytes(kind));
         if let Some(fm) = &mut self.faults {
             // Lane degradation and CRC retry/replay stretch the occupancy;
             // the packet itself always gets through (latency, not loss).
@@ -662,7 +783,7 @@ impl Network {
             NetEvent::Arrive {
                 node: neighbor,
                 port: neighbor_port,
-                packet,
+                packet: handle,
             },
         );
         // Try to use the link again the moment it frees — from both ends
@@ -677,8 +798,7 @@ impl Network {
     /// Freed a slot in `node`'s input buffer at `port`: wake whoever feeds
     /// that buffer so they can arbitrate for the space.
     fn wake_upstream(&mut self, node: NodeId, port: usize, now: SimTime) {
-        let state = &self.nodes[node.index()];
-        if port < state.ext_ports {
+        if port < self.meta[node.index()].ext_ports as usize {
             let (upstream, _) = self.topo.neighbors(node)[port];
             self.request_arb(upstream, now);
         }
@@ -697,6 +817,22 @@ impl Network {
     /// set the heap had to sustain (coalescing drives this down).
     pub fn event_queue_peak(&self) -> usize {
         self.events.peak_len()
+    }
+
+    /// Snapshot of the kernel-level performance counters: event-queue
+    /// traffic, ladder spill/rewindow activity, and the packet arena's
+    /// high-water mark. `steady_heap_allocs` is left at zero — only the
+    /// driving binary can observe the global allocator.
+    pub fn kernel_counters(&self) -> KernelCounters {
+        KernelCounters {
+            events_scheduled: self.events.events_scheduled(),
+            events_processed: self.events.events_processed(),
+            queue_peak: self.events.peak_len() as u64,
+            bucket_spills: self.events.bucket_spills(),
+            rewindows: self.events.rewindow_count(),
+            arena_high_water: self.packets.high_water() as u64,
+            steady_heap_allocs: 0,
+        }
     }
 }
 

@@ -1,8 +1,15 @@
 //! The event queue at the heart of the discrete-event kernel.
+//!
+//! Since kernel v3 the queue is a thin façade over [`LadderQueue`], a
+//! two-level calendar queue with the exact `(time, insertion-seq)` pop
+//! order the previous `BinaryHeap` implementation had — see
+//! [`crate::ladder`] for the structure and the ordering proof. The
+//! [`Scheduled`] wrapper (with the heap's inverted ordering) remains
+//! available for reference implementations and differential tests.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
+use crate::ladder::LadderQueue;
 use crate::time::SimTime;
 
 /// An event scheduled for a particular instant.
@@ -10,6 +17,10 @@ use crate::time::SimTime;
 /// Ordering is by time, then by insertion sequence number, so two events
 /// scheduled for the same instant are delivered in FIFO order. Deterministic
 /// tie-breaking is essential for reproducible simulations.
+///
+/// Kernel v3 replaced the `BinaryHeap<Scheduled<E>>` inside [`EventQueue`]
+/// with a ladder queue; `Scheduled` is retained as the reference ordering
+/// (a max-heap of these pops the same sequence) for differential tests.
 #[derive(Debug, Clone)]
 pub struct Scheduled<E> {
     /// When the event fires.
@@ -17,6 +28,14 @@ pub struct Scheduled<E> {
     seq: u64,
     /// The event payload.
     pub event: E,
+}
+
+impl<E> Scheduled<E> {
+    /// Wraps `event` with an explicit firing time and tie-break sequence
+    /// number (lower sequence pops first among same-instant events).
+    pub fn new(time: SimTime, seq: u64, event: E) -> Self {
+        Scheduled { time, seq, event }
+    }
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -64,33 +83,21 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
-    now: SimTime,
-    popped: u64,
-    peak: usize,
+    ladder: LadderQueue<E>,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            popped: 0,
-            peak: 0,
+            ladder: LadderQueue::new(),
         }
     }
 
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            popped: 0,
-            peak: 0,
+            ladder: LadderQueue::with_capacity(capacity),
         }
     }
 
@@ -101,56 +108,62 @@ impl<E> EventQueue<E> {
     /// In debug builds, panics if `time` is earlier than the time of the most
     /// recently popped event (scheduling into the past).
     pub fn push(&mut self, time: SimTime, event: E) {
-        debug_assert!(
-            time >= self.now,
-            "scheduled event at {time} into the past (now = {})",
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
-        self.peak = self.peak.max(self.heap.len());
+        self.ladder.push(time, event);
     }
 
     /// Removes and returns the earliest event, advancing the queue's clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Scheduled { time, event, .. } = self.heap.pop()?;
-        self.now = time;
-        self.popped += 1;
-        Some((time, event))
+        self.ladder.pop()
     }
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.ladder.peek_time()
     }
 
     /// The time of the most recently popped event ([`SimTime::ZERO`] before
     /// the first pop).
     pub fn now(&self) -> SimTime {
-        self.now
+        self.ladder.now()
     }
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ladder.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.ladder.is_empty()
     }
 
     /// Total number of events popped since construction.
     pub fn events_processed(&self) -> u64 {
-        self.popped
+        self.ladder.events_processed()
+    }
+
+    /// Total number of events pushed since construction.
+    pub fn events_scheduled(&self) -> u64 {
+        self.ladder.events_scheduled()
     }
 
     /// The largest number of events simultaneously pending since
-    /// construction — the working-set size the underlying heap had to
+    /// construction — the working-set size the underlying queue had to
     /// sustain. Event-coalescing optimizations drive this down.
     pub fn peak_len(&self) -> usize {
-        self.peak
+        self.ladder.peak_len()
+    }
+
+    /// Pushes that landed beyond the ladder window and took the overflow
+    /// rung. A high ratio of spills to pushes means the bucket window is a
+    /// poor fit for the workload's scheduling horizon.
+    pub fn bucket_spills(&self) -> u64 {
+        self.ladder.bucket_spills()
+    }
+
+    /// Times the ladder window was re-anchored from the overflow rung.
+    pub fn rewindow_count(&self) -> u64 {
+        self.ladder.rewindow_count()
     }
 }
 
@@ -237,6 +250,7 @@ mod tests {
         assert!(q.is_empty());
         q.extend((0..5).map(|i| (SimTime::from_ns(i), i)));
         assert_eq!(q.len(), 5);
+        assert_eq!(q.events_scheduled(), 5);
         while q.pop().is_some() {}
         assert_eq!(q.events_processed(), 5);
         assert!(q.is_empty());

@@ -1,0 +1,547 @@
+//! A two-level ladder (calendar) queue: the allocation-free priority queue
+//! behind [`crate::EventQueue`].
+//!
+//! Discrete-event simulations exhibit strong *temporal locality*: nearly
+//! every scheduled event fires within a short horizon of the current
+//! simulated time. A binary heap ignores that structure and pays a
+//! pointer-chasing sift on every operation; a ladder queue exploits it.
+//! Events land in one of [`N_BUCKETS`] fixed-width time buckets covering a
+//! sliding window anchored near the earliest pending event. Push appends
+//! to the bucket covering the event's instant; pop drains the *active*
+//! bucket front to back. Only when a bucket becomes active is it sorted —
+//! a tiny, cache-resident, stable sort — so the per-event cost is O(1)
+//! amortized, and after warm-up no operation allocates: buckets and the
+//! overflow rung retain their capacity across rewindows.
+//!
+//! ## The FIFO tie-break invariant
+//!
+//! The pop order is **exactly** `(time, insertion sequence)` — the order a
+//! binary heap with an explicit sequence tie-break produces — which is
+//! what pins the workspace's bit-reproducible results. Three mechanisms
+//! guarantee it (see `DESIGN.md` §5.3):
+//!
+//! 1. Appends into a pending bucket happen in push order, and activation
+//!    sorts **stably by time only**, so same-instant events keep their
+//!    insertion order.
+//! 2. Pushes into the already-sorted active bucket insert after every
+//!    entry with time ≤ theirs (their sequence number is by construction
+//!    the largest yet issued).
+//! 3. The overflow rung preserves push order, and a rewindow distributes
+//!    it in that order into empty buckets — entries pushed later are
+//!    appended later, so stability composes.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Buckets per window. 256 keeps the occupancy bitmap at four words while
+/// spanning a window comfortably larger than the event horizon of a
+/// router-network simulation.
+pub const N_BUCKETS: usize = 256;
+
+/// Bucket width in picoseconds. Sized so that one window
+/// (`N_BUCKETS * BUCKET_PS` ≈ 131 ns) covers the typical scheduling
+/// horizon of link serialization (~0.5 ns), SerDes latency (2 ns), and
+/// link-occupancy wakeups (tens of ns); farther events take the overflow
+/// rung and cost one extra move at the next rewindow.
+pub const BUCKET_PS: u64 = 512;
+
+const OCC_WORDS: usize = N_BUCKETS / 64;
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+/// A time-ordered queue with `(time, insertion-seq)` pop order, O(1)
+/// amortized operations, and a zero-allocation steady state.
+///
+/// Pops are monotonically non-decreasing in time; pushing earlier than the
+/// last popped instant is a caller logic error caught by a debug
+/// assertion. See the module docs for the ordering guarantee.
+///
+/// # Example
+///
+/// ```
+/// use mn_sim::{LadderQueue, SimTime};
+///
+/// let mut q = LadderQueue::new();
+/// q.push(SimTime::from_ns(3), 'b');
+/// q.push(SimTime::from_ns(1), 'a');
+/// q.push(SimTime::from_ns(3), 'c'); // same instant as 'b': FIFO order
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct LadderQueue<E> {
+    /// The window rung: `buckets[b]` covers
+    /// `[base_ps + b*BUCKET_PS, base_ps + (b+1)*BUCKET_PS)`.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Non-empty-bucket bitmap; bit `b` set ⟺ `buckets[b]` is non-empty.
+    occ: [u64; OCC_WORDS],
+    /// Picosecond start of bucket 0; re-anchored when the queue empties,
+    /// when a push lands before the window, and at every rewindow.
+    base_ps: u64,
+    /// The active bucket: sorted by `(time, seq)`, drained from the front.
+    /// Invariant: whenever `len > 0`, `buckets[cur]` is non-empty and its
+    /// front entry is the global minimum.
+    cur: usize,
+    /// The far rung: events beyond the window, in push order.
+    overflow: Vec<Entry<E>>,
+    /// Reused by `rewindow` to partition `overflow` without allocating.
+    scratch: Vec<Entry<E>>,
+    len: usize,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+    pushed: u64,
+    peak: usize,
+    spills: u64,
+    rewindows: u64,
+}
+
+impl<E> LadderQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        LadderQueue {
+            buckets: (0..N_BUCKETS).map(|_| VecDeque::new()).collect(),
+            occ: [0; OCC_WORDS],
+            base_ps: 0,
+            cur: 0,
+            overflow: Vec::new(),
+            scratch: Vec::new(),
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+            pushed: 0,
+            peak: 0,
+            spills: 0,
+            rewindows: 0,
+        }
+    }
+
+    /// Creates an empty queue sized for roughly `capacity` simultaneously
+    /// pending events: the overflow rung, the scratch buffer, and every
+    /// bucket each hold that many before reallocating. Buckets get the
+    /// full hint — not `capacity / N_BUCKETS` — because the pending set
+    /// can momentarily cluster in one bucket, and a zero-allocation steady
+    /// state requires that no bucket ever grows mid-run (buckets retain
+    /// whatever capacity they reach, so even an undersized queue allocates
+    /// only during warm-up).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = LadderQueue::new();
+        q.overflow.reserve(capacity);
+        q.scratch.reserve(capacity);
+        let per_bucket = capacity.max(4);
+        for bucket in &mut q.buckets {
+            bucket.reserve(per_bucket);
+        }
+        q
+    }
+
+    #[inline]
+    fn set_occ(&mut self, b: usize) {
+        self.occ[b / 64] |= 1u64 << (b % 64);
+    }
+
+    #[inline]
+    fn clear_occ(&mut self, b: usize) {
+        self.occ[b / 64] &= !(1u64 << (b % 64));
+    }
+
+    /// The lowest occupied bucket index at or above `from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= N_BUCKETS {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = self.occ[w] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= OCC_WORDS {
+                return None;
+            }
+            word = self.occ[w];
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `time` is earlier than the most recently
+    /// popped instant (scheduling into the past).
+    pub fn push(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event at {time} into the past (now = {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        let entry = Entry { time, seq, event };
+        let t = time.as_ps();
+        if self.len == 0 {
+            // Empty queue: re-anchor the window at this event.
+            self.base_ps = t;
+            self.cur = 0;
+            self.buckets[0].push_back(entry);
+            self.set_occ(0);
+            self.len = 1;
+            self.peak = self.peak.max(1);
+            return;
+        }
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+        let Some(off) = t.checked_sub(self.base_ps) else {
+            // Earlier than the window start: the window was anchored at a
+            // later event while this push is still ≥ now. Re-anchor at t;
+            // the new entry fronts bucket 0 — it is the new global minimum
+            // (every windowed and overflowed entry has time ≥ old base
+            // > t) and bucket 0 stays sorted (rebase leaves it so).
+            self.rebase(t);
+            self.buckets[0].push_front(entry);
+            self.set_occ(0);
+            return;
+        };
+        let idx = (off / BUCKET_PS) as usize;
+        if idx >= N_BUCKETS {
+            self.spills += 1;
+            self.overflow.push(entry);
+            return;
+        }
+        if idx == self.cur {
+            // The active bucket is sorted; this entry's seq is the largest
+            // yet issued, so it slots in after every entry with time ≤ its
+            // own — exactly the (time, seq) position.
+            let pos = self.buckets[idx].partition_point(|e| e.time <= time);
+            self.buckets[idx].insert(pos, entry);
+        } else if idx > self.cur {
+            // Pending bucket: append; activation sorts stably by time, so
+            // push order — and hence seq order — survives for ties.
+            self.buckets[idx].push_back(entry);
+            self.set_occ(idx);
+        } else {
+            // Behind the active bucket. Every bucket below `cur` has been
+            // drained and cleared, so this one is empty: it becomes the
+            // new active bucket (trivially sorted with one entry).
+            debug_assert!(self.buckets[idx].is_empty());
+            self.buckets[idx].push_back(entry);
+            self.set_occ(idx);
+            self.cur = idx;
+        }
+    }
+
+    /// Re-anchors the window at picosecond `t < base_ps` and redistributes
+    /// every windowed entry against the new bucket boundaries (entries
+    /// pushed past the window demote to the overflow rung). Rare — it only
+    /// fires when the window was anchored at a later event than a
+    /// subsequent push — and allocation-free via the reusable scratch.
+    ///
+    /// Ordering safety: entries are stashed bucket-ascending in push
+    /// order. Same-instant entries always share a source bucket, so their
+    /// relative order survives the stash and the re-append, and entries
+    /// landing in bucket 0 all come from old bucket 0 — the active bucket,
+    /// already sorted — so bucket 0 remains sorted for the caller.
+    fn rebase(&mut self, t: u64) {
+        debug_assert!(t < self.base_ps);
+        let mut stash = std::mem::take(&mut self.scratch);
+        debug_assert!(stash.is_empty());
+        let mut from = 0;
+        while let Some(i) = self.next_occupied(from) {
+            from = i + 1;
+            let mut moved = std::mem::take(&mut self.buckets[i]);
+            stash.extend(moved.drain(..));
+            self.buckets[i] = moved; // retain the drained deque's capacity
+            self.clear_occ(i);
+        }
+        self.base_ps = t;
+        for entry in stash.drain(..) {
+            let idx = ((entry.time.as_ps() - t) / BUCKET_PS) as usize;
+            if idx >= N_BUCKETS {
+                // Strictly below every pre-existing overflow time (the
+                // window/overflow boundary invariant), so per-instant seq
+                // order across the rung holds.
+                self.spills += 1;
+                self.overflow.push(entry);
+            } else {
+                self.buckets[idx].push_back(entry);
+                self.set_occ(idx);
+            }
+        }
+        self.scratch = stash;
+        self.cur = 0;
+    }
+
+    /// Sorts `buckets[b]` stably by time (preserving push order — and
+    /// therefore seq order — among same-instant entries) and makes it the
+    /// active bucket.
+    fn activate(&mut self, b: usize) {
+        self.cur = b;
+        let bucket = &mut self.buckets[b];
+        if bucket.len() > 1 {
+            bucket.make_contiguous().sort_by_key(|e| e.time);
+        }
+        debug_assert!(self.buckets[b]
+            .iter()
+            .zip(self.buckets[b].iter().skip(1))
+            .all(|(a, b)| (a.time, a.seq) <= (b.time, b.seq)));
+    }
+
+    /// Re-anchors the window at the earliest overflow event and moves the
+    /// now-windowed part of the overflow rung into buckets, preserving
+    /// push order for both the moved and the retained entries.
+    fn rewindow(&mut self) {
+        debug_assert!(!self.overflow.is_empty());
+        self.rewindows += 1;
+        let min_t = self
+            .overflow
+            .iter()
+            .map(|e| e.time.as_ps())
+            .min()
+            .expect("overflow non-empty");
+        self.base_ps = min_t;
+        let mut pending = std::mem::take(&mut self.overflow);
+        let mut kept = std::mem::take(&mut self.scratch);
+        debug_assert!(kept.is_empty());
+        for entry in pending.drain(..) {
+            let idx = ((entry.time.as_ps() - min_t) / BUCKET_PS) as usize;
+            if idx < N_BUCKETS {
+                self.buckets[idx].push_back(entry);
+                self.set_occ(idx);
+            } else {
+                kept.push(entry);
+            }
+        }
+        // Both vectors keep their capacity for the next rewindow.
+        self.overflow = kept;
+        self.scratch = pending;
+    }
+
+    /// Restores the active-bucket invariant after `buckets[cur]` drained:
+    /// activate the next occupied bucket, rewindowing from the overflow
+    /// rung as needed. Caller guarantees `len > 0`.
+    fn advance_cur(&mut self) {
+        loop {
+            if let Some(b) = self.next_occupied(self.cur) {
+                self.activate(b);
+                return;
+            }
+            self.rewindow();
+            self.cur = 0;
+        }
+    }
+
+    /// Removes and returns the earliest event, advancing the queue clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let entry = self.buckets[self.cur].pop_front().expect("invariant");
+        self.len -= 1;
+        self.now = entry.time;
+        self.popped += 1;
+        if self.buckets[self.cur].is_empty() {
+            self.clear_occ(self.cur);
+            if self.len > 0 {
+                self.advance_cur();
+            }
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// The firing time of the earliest pending event, if any. O(1): the
+    /// active-bucket invariant keeps the minimum at the front.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.buckets[self.cur].front().expect("invariant").time)
+    }
+
+    /// The time of the most recently popped event ([`SimTime::ZERO`]
+    /// before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events popped since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total events pushed since construction.
+    pub fn events_scheduled(&self) -> u64 {
+        self.pushed
+    }
+
+    /// High-water mark of pending events.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Pushes that missed the window and took the overflow rung (plus
+    /// rebase demotions) — the "how well does the window fit the horizon"
+    /// diagnostic.
+    pub fn bucket_spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Times the window was re-anchored from the overflow rung.
+    pub fn rewindow_count(&self) -> u64 {
+        self.rewindows
+    }
+}
+
+impl<E> Default for LadderQueue<E> {
+    fn default() -> Self {
+        LadderQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = LadderQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo_across_paths() {
+        // Same instant reached via pending-append and a rebase shift.
+        let mut q = LadderQueue::new();
+        let t = SimTime::from_ns(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        q.push(SimTime::ZERO, -1);
+        assert_eq!(q.pop(), Some((SimTime::ZERO, -1)));
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((t, i)), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn far_future_takes_overflow_and_comes_back() {
+        let mut q = LadderQueue::new();
+        let far = SimTime::from_ps(N_BUCKETS as u64 * BUCKET_PS * 10);
+        q.push(SimTime::from_ps(1), 'a');
+        q.push(far, 'c');
+        q.push(far, 'd');
+        q.push(SimTime::from_ps(2), 'b');
+        assert!(q.bucket_spills() >= 2);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ['a', 'b', 'c', 'd']);
+        assert!(q.rewindow_count() >= 1);
+    }
+
+    #[test]
+    fn multi_window_overflow_drains_in_order() {
+        // Overflow spanning several windows forces chained rewindows.
+        let window = N_BUCKETS as u64 * BUCKET_PS;
+        let mut q = LadderQueue::new();
+        let mut expect = Vec::new();
+        for k in 0..40u64 {
+            // Spread across ~13 windows, pushed out of order.
+            let t = SimTime::from_ps((k * 37 % 40) * window / 3 + 1);
+            q.push(t, (t, k));
+            expect.push((t, k));
+        }
+        // `k` equals push seq order, so sorting by (time, k) gives the
+        // required pop order.
+        expect.sort_by_key(|&(t, k)| (t, k));
+        let got: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn push_below_window_after_anchor() {
+        // Anchor at a late event, then push earlier (but ≥ now).
+        let mut q = LadderQueue::new();
+        q.push(SimTime::from_ns(100), 'z');
+        q.push(SimTime::from_ns(1), 'a');
+        q.push(SimTime::from_ns(1), 'b');
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ['a', 'b', 'z']);
+    }
+
+    #[test]
+    fn rebase_demotes_top_buckets_to_overflow() {
+        // Fill a bucket near the top of the window, then rebase far enough
+        // back that it falls off the end.
+        let window = N_BUCKETS as u64 * BUCKET_PS;
+        let mut q = LadderQueue::new();
+        let hi = SimTime::from_ps(window - 1);
+        q.push(SimTime::from_ps(window / 2), 'm');
+        q.push(hi, 'y');
+        q.push(hi, 'z');
+        q.push(SimTime::from_ps(0), 'a');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ['a', 'm', 'y', 'z']);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = LadderQueue::new();
+        q.push(SimTime::from_ns(1), 'a');
+        q.push(SimTime::from_ns(5), 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(SimTime::from_ns(3), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.now(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut q = LadderQueue::with_capacity(16);
+        assert!(q.is_empty());
+        for i in 0..5u64 {
+            q.push(SimTime::from_ns(i), i);
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peak_len(), 5);
+        assert_eq!(q.events_scheduled(), 5);
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = LadderQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.pop();
+        q.push(SimTime::from_ns(5), ());
+    }
+}

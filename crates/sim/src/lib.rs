@@ -35,14 +35,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
+pub mod counters;
 mod event;
+pub mod ladder;
 mod rng;
 mod slab;
 mod stats;
 mod time;
 mod watchdog;
 
+pub use arena::{ArenaRef, GenArena};
+pub use counters::KernelCounters;
 pub use event::{EventQueue, Scheduled};
+pub use ladder::LadderQueue;
 pub use rng::SimRng;
 pub use slab::SeqSlab;
 pub use stats::{Accumulator, Counter, Histogram, RunningStats};
