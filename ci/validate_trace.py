@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate an mn-telemetry trace export against ci/trace-schema.json.
+
+Usage: validate_trace.py <schema.json> <trace.json>
+
+Implements the JSON-Schema subset the checked-in schema uses (type,
+required, properties, items, enum) so CI needs nothing beyond the
+standard library, then applies Perfetto-specific sanity checks the
+schema language cannot express (metadata present, spans present,
+'X' events carry durations).
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def fail(msg):
+    sys.exit(f"trace schema violation: {msg}")
+
+
+def check(value, schema, path="$"):
+    expected = schema.get("type")
+    if expected is not None:
+        ok = isinstance(value, TYPES[expected])
+        if isinstance(value, bool) and expected in ("integer", "number"):
+            ok = False
+        if not ok:
+            fail(f"{path}: expected {expected}, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{path}: {value!r} not one of {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], f"{path}[{i}]")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        trace = json.load(f)
+
+    check(trace, schema)
+
+    events = trace["traceEvents"]
+    by_phase = {}
+    for i, event in enumerate(events):
+        by_phase.setdefault(event["ph"], []).append(i)
+        if event["ph"] in ("X", "i") and "ts" not in event:
+            fail(f"$.traceEvents[{i}]: timed event without 'ts'")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"$.traceEvents[{i}]: span without 'dur'")
+    if len(by_phase.get("M", [])) < 2:
+        fail("expected process and thread metadata ('M') events")
+    if not by_phase.get("X"):
+        fail("expected at least one span ('X') event")
+
+    counts = {ph: len(ids) for ph, ids in sorted(by_phase.items())}
+    print(f"ok: {len(events)} events validate ({counts})")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,6 +89,11 @@ fn run_case(case: &Case) -> Measurement {
         config.noc.fault.transient_rate = case.fault_rate;
         config.noc.fault.seed = 7;
     }
+    // MN_TRACE lets CI measure telemetry overhead (off/counters/full)
+    // with the same binary; the event stream is identical either way.
+    if let Some(mode) = mn_campaign::trace_from_env() {
+        config.noc.trace = mode;
+    }
 
     // Warm up (page in code, size caches) outside the measured window.
     let reference = simulate_port(&config, case.workload, 0);

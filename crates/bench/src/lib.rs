@@ -17,6 +17,9 @@
 //! - `MN_FAULT_RATE` — per-traversal transient-CRC probability (default 0:
 //!   fault injection off; enabling it changes the result fingerprints),
 //! - `MN_FAULT_SEED` — fault-schedule seed (default 0),
+//! - `MN_TRACE` — telemetry mode `off|counters|full` (default off; purely
+//!   observational, never changes results or fingerprints — but cached
+//!   points come back without telemetry, so combine with `MN_CACHE=off`),
 //! - `--format text|json|csv` — append per-point records to the tables.
 //!
 //! Malformed values are reported on stderr and the default applies.
@@ -59,6 +62,9 @@ pub fn tune(mut config: SystemConfig) -> SystemConfig {
     }
     if let Some(seed) = fault_seed_from_env() {
         config.noc.fault.seed = seed;
+    }
+    if let Some(mode) = mn_campaign::trace_from_env() {
+        config.noc.trace = mode;
     }
     config
 }
@@ -110,12 +116,15 @@ pub fn mix_topology_grid() -> Vec<(MixSpec, TopologyKind)> {
 
 /// The `100%-C` round-robin baseline every speedup figure normalizes
 /// against, sized (requests, seed) like `template` so the comparison is
-/// apples-to-apples without consulting the environment.
+/// apples-to-apples without consulting the environment. The telemetry
+/// mode is inherited too, so under `MN_TRACE` the baseline's records
+/// carry the same columns as the grid's (it cannot affect the numbers).
 pub fn baseline_config(template: &SystemConfig) -> SystemConfig {
     let mut base = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0)
         .expect("the all-DRAM chain is always realizable");
     base.requests_per_port = template.requests_per_port;
     base.seed = template.seed;
+    base.noc.trace = template.noc.trace;
     base
 }
 

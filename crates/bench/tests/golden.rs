@@ -28,13 +28,21 @@ fn committed_cache() -> DiskCache {
 const FIG05_GOLDEN: &str = include_str!("../../../results/fig05.txt");
 const FIG10_GOLDEN: &str = include_str!("../../../results/fig10.txt");
 
-/// The environment knobs (`MN_REQUESTS`, `MN_SEED`, and the fault
-/// overrides) reshape every figure grid; the goldens were produced with
-/// the defaults (and with fault injection off).
+/// The environment knobs (`MN_REQUESTS`, `MN_SEED`, the fault overrides,
+/// and `MN_TRACE`) reshape every figure grid; the goldens were produced
+/// with the defaults (fault injection off, telemetry off). `MN_TRACE`
+/// never changes the numbers, but the from-scratch replays assert the
+/// exact default-mode behavior, so it is excluded like the rest.
 fn env_is_default() -> bool {
-    ["MN_REQUESTS", "MN_SEED", "MN_FAULT_RATE", "MN_FAULT_SEED"]
-        .iter()
-        .all(|knob| std::env::var_os(knob).is_none())
+    [
+        "MN_REQUESTS",
+        "MN_SEED",
+        "MN_FAULT_RATE",
+        "MN_FAULT_SEED",
+        "MN_TRACE",
+    ]
+    .iter()
+    .all(|knob| std::env::var_os(knob).is_none())
 }
 
 #[test]
@@ -47,6 +55,33 @@ fn fingerprints_survive_kernel_changes() {
     config.requests_per_port = 6_000;
     let point = CampaignPoint::new(config, Workload::Dct);
     assert_eq!(point.cache_key(), "348808c871d2e161");
+}
+
+/// Telemetry's zero-perturbation contract, checked against the committed
+/// goldens themselves: a full-tracing run of the pinned point must encode
+/// to exactly the bytes stored in `results/cache/` by an untraced run.
+#[test]
+#[ignore = "re-simulates the pinned chain point; run with --ignored"]
+fn full_tracing_reproduces_the_committed_golden_bytes() {
+    if !env_is_default() {
+        eprintln!("skipping: MN_REQUESTS/MN_SEED override the golden grid");
+        return;
+    }
+    let mut config = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).unwrap();
+    config.requests_per_port = 6_000;
+    config.noc.trace = mn_core::TraceConfig::Full;
+    let point = CampaignPoint::new(config.clone(), Workload::Dct);
+    // Tracing is excluded from the fingerprint, so the traced point still
+    // addresses the committed entry...
+    assert_eq!(point.cache_key(), "348808c871d2e161");
+    let cached = committed_cache().load(&point).expect("committed entry");
+    // ...and a traced re-simulation must reproduce its exact bytes.
+    let traced = mn_core::try_simulate(&config, Workload::Dct).expect("simulates");
+    assert!(traced.telemetry.is_some(), "tracing was on");
+    assert_eq!(
+        mn_campaign::codec::encode_result(&traced),
+        mn_campaign::codec::encode_result(&cached),
+    );
 }
 
 #[test]

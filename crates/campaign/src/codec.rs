@@ -13,6 +13,12 @@ use mn_sim::{Accumulator, Histogram, SimTime};
 
 /// Encodes a result exactly. The output is stable across runs and
 /// platforms: equal strings if and only if the results are bit-identical.
+///
+/// The telemetry rollup is deliberately **not** encoded: it is purely
+/// observational, regenerable by re-running the point with tracing on
+/// (and the cache off), and excluding it keeps traced and untraced runs
+/// of the same point byte-identical here — which is what lets them
+/// share one cache entry (the fingerprint excludes the trace mode).
 pub fn encode_result(result: &RunResult) -> String {
     let acc = |a: &Accumulator| {
         let (sum, count, min, max) = a.raw_parts();
@@ -106,6 +112,9 @@ pub fn decode_result(text: &str) -> Option<RunResult> {
         row_hit_rate: row_hit_rate?,
         avg_hops: avg_hops?,
         read_latency: hist?,
+        // Telemetry is never cached (see encode_result): a cache hit
+        // reports the simulated result without the observational rollup.
+        telemetry: None,
     })
 }
 
@@ -153,6 +162,7 @@ mod tests {
             row_hit_rate: 0.625,
             avg_hops: 3.875,
             read_latency,
+            telemetry: None,
         }
     }
 
@@ -176,6 +186,18 @@ mod tests {
             decoded.breakdown.to_memory.raw_parts(),
             original.breakdown.to_memory.raw_parts()
         );
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_encoding() {
+        // Traced and untraced runs of one point must share a cache
+        // entry; the observational rollup stays out of the codec.
+        let plain = sample();
+        let mut traced = sample();
+        traced.telemetry = Some(mn_core::TelemetrySummary::default());
+        assert_eq!(encode_result(&plain), encode_result(&traced));
+        let decoded = decode_result(&encode_result(&traced)).expect("decodes");
+        assert!(decoded.telemetry.is_none());
     }
 
     #[test]

@@ -83,6 +83,23 @@ pub fn fault_seed_from_env() -> Option<u64> {
     env_parse("MN_FAULT_SEED")
 }
 
+/// Telemetry mode override: `MN_TRACE`, one of `off`, `counters`,
+/// `full` (case-insensitive). Telemetry is observational — it never
+/// changes simulated results or cache keys — so this knob is safe to
+/// set on any figure binary. Unset or malformed (warned once) means
+/// "leave the config's mode alone".
+pub fn trace_from_env() -> Option<mn_noc::TraceConfig> {
+    env_parse("MN_TRACE")
+}
+
+/// Trace output directory: `MN_TRACE_DIR`. Where trace exports (e.g.
+/// `mncube trace`'s Perfetto JSON) land when the caller doesn't give an
+/// explicit path; defaults to the current directory when unset.
+pub fn trace_dir_from_env() -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("MN_TRACE_DIR")?;
+    Some(std::path::PathBuf::from(dir))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +139,26 @@ mod tests {
         std::env::set_var("MN_FAULT_SEED", "42");
         assert_eq!(fault_seed_from_env(), Some(42));
         std::env::remove_var("MN_FAULT_SEED");
+
+        // Telemetry knobs, same single-test discipline.
+        std::env::remove_var("MN_TRACE");
+        std::env::remove_var("MN_TRACE_DIR");
+        assert_eq!(trace_from_env(), None);
+        assert_eq!(trace_dir_from_env(), None);
+
+        std::env::set_var("MN_TRACE", "Counters");
+        assert_eq!(trace_from_env(), Some(mn_noc::TraceConfig::Counters));
+        std::env::set_var("MN_TRACE", "full");
+        assert_eq!(trace_from_env(), Some(mn_noc::TraceConfig::Full));
+        std::env::set_var("MN_TRACE", "loud");
+        assert_eq!(trace_from_env(), None); // malformed: warned
+        std::env::remove_var("MN_TRACE");
+
+        std::env::set_var("MN_TRACE_DIR", "/tmp/traces");
+        assert_eq!(
+            trace_dir_from_env(),
+            Some(std::path::PathBuf::from("/tmp/traces"))
+        );
+        std::env::remove_var("MN_TRACE_DIR");
     }
 }

@@ -75,6 +75,11 @@ impl CampaignPoint {
             duplex,
             transport_pj_per_bit_hop,
             fault,
+            // Telemetry is purely observational: it never changes the
+            // event stream or any simulated quantity (enforced by test),
+            // so traced and untraced runs of the same point share a
+            // cache entry and the committed cache keys stay stable.
+            trace: _,
         } = noc;
         let link = |l: &LinkTiming| format!("{}+{}ps", l.ps_per_byte, l.fixed_latency.as_ps());
         let base = format!(
@@ -205,6 +210,17 @@ mod tests {
         let mut d = a.clone();
         d.config.noc.fault.retry_limit += 1;
         assert_ne!(a.cache_key(), d.cache_key());
+    }
+
+    #[test]
+    fn trace_mode_is_not_fingerprinted() {
+        // Telemetry observes without perturbing, so a traced run may be
+        // served from (and write to) the same cache entry as an
+        // untraced one.
+        let a = point();
+        let mut b = point();
+        b.config.noc.trace = mn_noc::TraceConfig::Full;
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

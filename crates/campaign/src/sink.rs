@@ -105,6 +105,11 @@ pub fn point_record(outcome: &PointOutcome) -> Record {
         Ok(r) => {
             let b = &r.breakdown;
             let quantile_ns = |q| r.read_latency_quantile(q).as_ns_f64();
+            // Telemetry columns are NaN (JSON null) unless the run was
+            // traced — the campaign default is Off, and cache hits never
+            // carry telemetry.
+            let t = r.telemetry.as_ref();
+            let tv = |v: Option<f64>| Value::Float(v.unwrap_or(f64::NAN));
             point_record_fields(
                 outcome,
                 Value::Str(r.label.clone()),
@@ -125,6 +130,21 @@ pub fn point_record(outcome: &PointOutcome) -> Record {
                     ("energy_network_uj", Value::Float(r.energy.network.as_uj())),
                     ("energy_read_uj", Value::Float(r.energy.read.as_uj())),
                     ("energy_write_uj", Value::Float(r.energy.write.as_uj())),
+                    ("jain_fairness", tv(t.map(|t| t.fairness.jain()))),
+                    ("req_queue_ns", tv(t.map(|t| t.decomp.req_queue.mean_ns()))),
+                    ("req_wire_ns", tv(t.map(|t| t.decomp.req_wire.mean_ns()))),
+                    ("array_ns", tv(t.map(|t| t.decomp.array_ns()))),
+                    (
+                        "resp_queue_ns",
+                        tv(t.map(|t| t.decomp.resp_queue.mean_ns())),
+                    ),
+                    ("resp_wire_ns", tv(t.map(|t| t.decomp.resp_wire.mean_ns()))),
+                    (
+                        "peak_queue_depth",
+                        tv(t.map(|t| t.queue_depth.peak() as f64)),
+                    ),
+                    ("p99_queue_depth", tv(t.map(|t| t.queue_depth.p99() as f64))),
+                    ("peak_link_util", tv(t.map(|t| t.peak_link_utilization))),
                 ],
                 String::new(),
             )
@@ -151,6 +171,15 @@ pub fn point_record(outcome: &PointOutcome) -> Record {
                 ("energy_network_uj", Value::Float(f64::NAN)),
                 ("energy_read_uj", Value::Float(f64::NAN)),
                 ("energy_write_uj", Value::Float(f64::NAN)),
+                ("jain_fairness", Value::Float(f64::NAN)),
+                ("req_queue_ns", Value::Float(f64::NAN)),
+                ("req_wire_ns", Value::Float(f64::NAN)),
+                ("array_ns", Value::Float(f64::NAN)),
+                ("resp_queue_ns", Value::Float(f64::NAN)),
+                ("resp_wire_ns", Value::Float(f64::NAN)),
+                ("peak_queue_depth", Value::Float(f64::NAN)),
+                ("p99_queue_depth", Value::Float(f64::NAN)),
+                ("peak_link_util", Value::Float(f64::NAN)),
             ],
             e.to_string(),
         ),
@@ -376,6 +405,55 @@ mod tests {
         for line in csv.lines().skip(1) {
             assert_eq!(line.split(',').count(), header_fields, "{line}");
         }
+    }
+
+    #[test]
+    fn traced_results_fill_telemetry_columns() {
+        use crate::point::CampaignPoint;
+        use mn_core::SystemConfig;
+        use mn_topo::TopologyKind;
+        use mn_workloads::Workload;
+
+        let mut config = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).unwrap();
+        config.requests_per_port = 150;
+        config.noc.trace = mn_core::TraceConfig::Counters;
+        let point = CampaignPoint::new(config, Workload::Dct);
+        let result = mn_core::simulate(&point.config, point.workload);
+        let outcome = PointOutcome {
+            point,
+            result: Ok(result),
+            cached: false,
+            host: std::time::Duration::ZERO,
+        };
+        let record = point_record(&outcome);
+        let field = |k: &str| {
+            record
+                .iter()
+                .find(|(key, _)| *key == k)
+                .unwrap_or_else(|| panic!("column {k}"))
+                .1
+                .clone()
+        };
+        for col in [
+            "jain_fairness",
+            "req_queue_ns",
+            "req_wire_ns",
+            "array_ns",
+            "resp_queue_ns",
+            "resp_wire_ns",
+            "peak_queue_depth",
+            "p99_queue_depth",
+            "peak_link_util",
+        ] {
+            let Value::Float(x) = field(col) else {
+                panic!("{col} should be a float");
+            };
+            assert!(x.is_finite(), "{col} = {x}");
+        }
+        let Value::Float(jain) = field("jain_fairness") else {
+            unreachable!()
+        };
+        assert!(jain > 0.0 && jain <= 1.0, "jain {jain}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Argument parsing for the `mncube` binary.
 //!
 //! Deliberately hand-rolled: the workspace keeps its dependencies to the
-//! simulation essentials, and the grammar is small — four subcommands with
+//! simulation essentials, and the grammar is small — five subcommands with
 //! `--flag value` options.
 
 use std::error::Error;
@@ -83,6 +83,26 @@ pub struct SweepArgs {
     pub requests: u64,
 }
 
+/// Arguments of `mncube trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// MN topology.
+    pub topology: TopologyKind,
+    /// Workload proxy.
+    pub workload: Workload,
+    /// DRAM capacity percentage.
+    pub dram_pct: u32,
+    /// NVM placement.
+    pub placement: NvmPlacement,
+    /// Requests per port.
+    pub requests: u64,
+    /// RNG seed override.
+    pub seed: Option<u64>,
+    /// Output path for the Perfetto trace (defaults to
+    /// `$MN_TRACE_DIR/trace.json`, or `./trace.json`).
+    pub out: Option<std::path::PathBuf>,
+}
+
 /// A parsed `mncube` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -94,6 +114,9 @@ pub enum Command {
     Topo(TopoArgs),
     /// Sweep the DRAM:NVM ratio for one topology.
     Sweep(SweepArgs),
+    /// Simulate one port with full tracing and export a Perfetto trace
+    /// plus a latency-decomposition report.
+    Trace(TraceArgs),
     /// Print usage.
     Help,
 }
@@ -108,6 +131,8 @@ USAGE:
     mncube compare [--workload W] [--arbiter A] [--requests N]
     mncube topo    [--topology T] [--cubes N] [--dram PCT] [--placement P]
     mncube sweep   [--topology T] [--workload W] [--requests N]
+    mncube trace   [--topology T] [--workload W] [--dram PCT] [--placement P]
+                   [--requests N] [--seed S] [--out FILE]
     mncube help
 
 VALUES:
@@ -116,6 +141,9 @@ VALUES:
     PCT: 100 | 75 | 50 | 25 | 0       (DRAM share of capacity)
     P:   first | last                 (NVM placement)
     A:   rr | distance | adaptive | oracle
+
+'trace' writes a Chrome/Perfetto trace.json (open in ui.perfetto.dev);
+--out overrides the destination, else $MN_TRACE_DIR/trace.json is used.
 ";
 
 fn parse_topology(s: &str) -> Result<TopologyKind, ArgError> {
@@ -283,6 +311,30 @@ impl Command {
                 }
                 Ok(Command::Sweep(parsed))
             }
+            "trace" => {
+                let mut parsed = TraceArgs {
+                    topology: TopologyKind::Tree,
+                    workload: Workload::Dct,
+                    dram_pct: 100,
+                    placement: NvmPlacement::Last,
+                    requests: 6_000,
+                    seed: None,
+                    out: None,
+                };
+                while let Some(flag) = cursor.next_flag() {
+                    match flag {
+                        "--topology" => parsed.topology = parse_topology(cursor.value(flag)?)?,
+                        "--workload" => parsed.workload = parse_workload(cursor.value(flag)?)?,
+                        "--dram" => parsed.dram_pct = parse_u64(flag, cursor.value(flag)?)? as u32,
+                        "--placement" => parsed.placement = parse_placement(cursor.value(flag)?)?,
+                        "--requests" => parsed.requests = parse_u64(flag, cursor.value(flag)?)?,
+                        "--seed" => parsed.seed = Some(parse_u64(flag, cursor.value(flag)?)?),
+                        "--out" => parsed.out = Some(cursor.value(flag)?.into()),
+                        other => return Err(err(format!("unknown flag '{other}' for trace"))),
+                    }
+                }
+                Ok(Command::Trace(parsed))
+            }
             other => Err(err(format!(
                 "unknown subcommand '{other}' (try 'mncube help')"
             ))),
@@ -390,6 +442,40 @@ mod tests {
             parse(&["sweep", "--topology", "ring"]),
             Ok(Command::Sweep(_))
         ));
+    }
+
+    #[test]
+    fn trace_parses_flags_and_defaults() {
+        let Command::Trace(a) = parse(&["trace"]).unwrap() else {
+            panic!("expected trace");
+        };
+        assert_eq!(a.topology, TopologyKind::Tree);
+        assert_eq!(a.out, None);
+
+        let Command::Trace(a) = parse(&[
+            "trace",
+            "--topology",
+            "chain",
+            "--workload",
+            "kmeans",
+            "--dram",
+            "50",
+            "--requests",
+            "640",
+            "--out",
+            "/tmp/t.json",
+        ])
+        .unwrap() else {
+            panic!("expected trace");
+        };
+        assert_eq!(a.topology, TopologyKind::Chain);
+        assert_eq!(a.workload, Workload::Kmeans);
+        assert_eq!(a.dram_pct, 50);
+        assert_eq!(a.requests, 640);
+        assert_eq!(a.out, Some(std::path::PathBuf::from("/tmp/t.json")));
+
+        // The arbiter knob belongs to run/compare, not trace.
+        assert!(parse(&["trace", "--arbiter", "rr"]).is_err());
     }
 
     #[test]

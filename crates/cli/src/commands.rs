@@ -11,7 +11,7 @@ use mn_core::{speedup_pct, RunResult, SystemConfig};
 use mn_topo::{render_ascii, Placement, Topology, TopologyKind, TopologyMetrics};
 use mn_workloads::Workload;
 
-use crate::args::{ArgError, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs, USAGE};
+use crate::args::{ArgError, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs, TraceArgs, USAGE};
 
 fn build_config(
     topology: TopologyKind,
@@ -23,6 +23,12 @@ fn build_config(
         .map_err(|e| ArgError(e.to_string()))?
         .with_nvm_placement(placement);
     config.requests_per_port = requests;
+    // MN_TRACE fills the telemetry columns of `--format`-style consumers
+    // downstream; note cached points come back without telemetry, so
+    // combine with MN_CACHE=off for fresh instrumented runs.
+    if let Some(mode) = mn_campaign::trace_from_env() {
+        config.noc.trace = mode;
+    }
     Ok(config)
 }
 
@@ -198,6 +204,59 @@ fn sweep(campaign: &Campaign, args: &SweepArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn trace(args: &TraceArgs) -> Result<String, ArgError> {
+    let mut config = build_config(args.topology, args.dram_pct, args.placement, args.requests)?;
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config.noc.trace = mn_core::TraceConfig::Full;
+
+    // Tracing bypasses the campaign engine on purpose: a cache hit
+    // returns the simulated result without the telemetry rollup, and a
+    // trace run exists precisely for that rollup. One port is simulated
+    // directly (ports are independent; port 0 is representative).
+    let mut observation = mn_core::try_simulate_port(&config, args.workload, 0)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let telemetry = observation
+        .take_telemetry()
+        .ok_or_else(|| ArgError("tracing produced no telemetry".into()))?;
+
+    let path = args.out.clone().unwrap_or_else(|| {
+        let dir = mn_campaign::trace_dir_from_env().unwrap_or_default();
+        dir.join("trace.json")
+    });
+    let mut file = std::fs::File::create(&path)
+        .map_err(|e| ArgError(format!("cannot create {}: {e}", path.display())))?;
+    mn_telemetry::write_chrome_trace(
+        &mut file,
+        &[
+            mn_telemetry::TraceProcess {
+                pid: 1,
+                name: "network",
+                tracer: &telemetry.net.tracer,
+            },
+            mn_telemetry::TraceProcess {
+                pid: 2,
+                name: "memory controllers",
+                tracer: &telemetry.ctrl_tracer,
+            },
+        ],
+    )
+    .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+
+    let mut out = telemetry.summary.report();
+    let events = telemetry.net.tracer.len() + telemetry.ctrl_tracer.len();
+    let dropped = telemetry.net.tracer.dropped() + telemetry.ctrl_tracer.dropped();
+    let _ = writeln!(
+        out,
+        "trace           {} events ({} dropped) -> {}",
+        events,
+        dropped,
+        path.display()
+    );
+    Ok(out)
+}
+
 /// Executes a parsed command against an explicit campaign engine,
 /// returning the text to print.
 ///
@@ -212,6 +271,7 @@ pub fn execute_with(campaign: &Campaign, command: &Command) -> Result<String, Ar
         Command::Compare(args) => compare(campaign, args),
         Command::Topo(args) => topo(args),
         Command::Sweep(args) => sweep(campaign, args),
+        Command::Trace(args) => trace(args),
     }
 }
 
@@ -296,6 +356,36 @@ mod tests {
         .unwrap();
         assert!(text.contains("chain"));
         assert!(text.contains("vs chain"));
+    }
+
+    #[test]
+    fn trace_writes_perfetto_json_and_reports() {
+        let path =
+            std::env::temp_dir().join(format!("mncube-trace-test-{}.json", std::process::id()));
+        let text = execute_with(
+            &bare(),
+            &Command::Trace(crate::args::TraceArgs {
+                topology: TopologyKind::Chain,
+                workload: Workload::Kmeans,
+                dram_pct: 100,
+                placement: NvmPlacement::Last,
+                requests: 200,
+                seed: Some(1),
+                out: Some(path.clone()),
+            }),
+        )
+        .unwrap();
+        assert!(text.contains("latency decomposition"));
+        assert!(text.contains("request network"));
+        assert!(text.contains("fairness"));
+        assert!(text.contains("trace           "));
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"network\""));
+        assert!(json.contains("\"name\":\"memory controllers\""));
+        assert!(json.contains("\"BankAccess\""));
     }
 
     #[test]

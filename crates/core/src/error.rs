@@ -41,6 +41,17 @@ pub enum SimError {
         outstanding: usize,
         /// Requests still queued at the host at the stall.
         queued: usize,
+        /// Packets resident in the network (injected, not delivered) at
+        /// the stall. This includes arena-resident packets with **no
+        /// pending kernel event** — packets parked on backpressured
+        /// buffers waiting for credits — which the host-side counts
+        /// above cannot see, and which are exactly what a credit
+        /// deadlock strands.
+        in_network: u64,
+        /// The last kernel events before the stall, oldest first, from
+        /// the network's flight recorder. Empty unless the run traced
+        /// with [`mn_noc::TraceConfig::Full`].
+        flight: Vec<String>,
     },
 }
 
@@ -67,11 +78,23 @@ impl fmt::Display for SimError {
                 total,
                 outstanding,
                 queued,
-            } => write!(
-                f,
-                "simulation stalled at {at}: {completed} of {total} requests \
-                 complete, {outstanding} outstanding, {queued} queued"
-            ),
+                in_network,
+                flight,
+            } => {
+                write!(
+                    f,
+                    "simulation stalled at {at}: {completed} of {total} requests \
+                     complete, {outstanding} outstanding, {queued} queued, \
+                     {in_network} in network"
+                )?;
+                if !flight.is_empty() {
+                    write!(f, "\nlast kernel events:")?;
+                    for line in flight {
+                        write!(f, "\n  {line}")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -107,11 +130,31 @@ mod tests {
             total: 100,
             outstanding: 2,
             queued: 7,
+            in_network: 3,
+            flight: Vec::new(),
         };
         let msg = e.to_string();
         assert!(msg.contains("10 of 100"), "{msg}");
         assert!(msg.contains("2 outstanding"), "{msg}");
         assert!(msg.contains("7 queued"), "{msg}");
+        assert!(msg.contains("3 in network"), "{msg}");
+        assert!(!msg.contains("last kernel events"), "{msg}");
+    }
+
+    #[test]
+    fn stalled_display_appends_flight_recorder() {
+        let e = SimError::Stalled {
+            at: SimTime::from_ns(5),
+            completed: 0,
+            total: 1,
+            outstanding: 1,
+            queued: 0,
+            in_network: 1,
+            flight: vec!["2ns arrive p0 at n1 port 0".into(), "2ns try-arb n1".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("last kernel events:"), "{msg}");
+        assert!(msg.contains("\n  2ns try-arb n1"), "{msg}");
     }
 
     #[test]

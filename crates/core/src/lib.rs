@@ -55,7 +55,8 @@ pub use error::SimError;
 pub use experiment::{
     baseline_chain_config, mix_grid, ratio_label, speedup_pct, ConfigPoint, MixSpec,
 };
-pub use port::PortObservation;
+pub use mn_telemetry::{TelemetrySummary, TraceConfig};
+pub use port::{PortObservation, PortTelemetry};
 pub use stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
 pub use system::{
     merge_port_observations, port_count, simulate, simulate_port, try_simulate, try_simulate_port,

@@ -37,9 +37,13 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use mn_mem::{Completion, EnergyPj, MemAccess, MemTechSpec, QuadrantController};
-use mn_noc::{Network, Packet, PacketKind, WriteBurstDetector};
+use mn_noc::{NetTelemetry, Network, Packet, PacketKind, WriteBurstDetector};
 use mn_sim::{
     counters, Histogram, KernelCounters, SeqSlab, SimDuration, SimRng, SimTime, Watchdog,
+};
+use mn_telemetry::{
+    Decomposition, FairnessTracker, LifecycleTracer, TelemetrySummary, TraceConfig, TraceEvent,
+    TraceEventKind,
 };
 use mn_topo::{CubeTech, NodeId, PathClass, Topology, TopologyKind};
 use mn_workloads::{MemRef, TraceGenerator};
@@ -57,6 +61,10 @@ const WRONG_QUADRANT_PENALTY: SimDuration = SimDuration::from_ns(1);
 
 /// Payload bits per access, for array energy (64 B lines).
 const ACCESS_BITS: u64 = 64 * 8;
+
+/// `BankAccess` spans retained per port under `Full` tracing (a ring:
+/// long runs keep the tail).
+const CTRL_TRACER_CAPACITY: usize = 1 << 16;
 
 #[derive(Debug)]
 struct Inflight {
@@ -77,6 +85,40 @@ struct PendingResponse {
     packet: Packet,
 }
 
+/// Everything one port's run observed beyond its headline statistics:
+/// the cross-port-mergeable rollup plus the raw per-event material
+/// (lifecycle tracers, per-link utilization series) a trace export
+/// needs. Present only when the run's [`mn_telemetry::TraceConfig`]
+/// was not `Off`.
+#[derive(Debug)]
+pub struct PortTelemetry {
+    /// The mergeable rollup: latency decomposition, fairness, queue
+    /// depth, peak link utilization.
+    pub summary: TelemetrySummary,
+    /// Network-side telemetry (link tracer, link utilization series,
+    /// queue-depth distribution).
+    pub net: NetTelemetry,
+    /// Memory-side lifecycle tracer: one `BankAccess` span track per
+    /// (cube, quadrant) controller. Empty unless tracing was `Full`.
+    pub ctrl_tracer: LifecycleTracer,
+}
+
+/// Zero-contention path cost between the host and one node: the sum of
+/// per-byte serialization rates and of fixed per-traversal latencies
+/// over the routed path's links. `wire = bytes * byte_ps + fixed_ps`.
+#[derive(Debug, Clone, Copy, Default)]
+struct WireCost {
+    byte_ps: u64,
+    fixed_ps: u64,
+}
+
+impl WireCost {
+    #[inline]
+    fn wire(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ps(bytes * self.byte_ps + self.fixed_ps)
+    }
+}
+
 /// Raw result of simulating one port to trace completion.
 ///
 /// Produced by [`crate::simulate_port`]; merge a config's worth of these
@@ -95,6 +137,7 @@ pub struct PortObservation {
     pub(crate) row_hit_rate: f64,
     pub(crate) avg_hops: f64,
     pub(crate) kernel: KernelCounters,
+    pub(crate) telemetry: Option<Box<PortTelemetry>>,
 }
 
 impl PortObservation {
@@ -119,6 +162,18 @@ impl PortObservation {
     /// allocator, e.g. `kernel_bench`).
     pub fn kernel_counters(&self) -> KernelCounters {
         self.kernel
+    }
+
+    /// The port's telemetry, when the run's trace mode was not `Off`.
+    pub fn telemetry(&self) -> Option<&PortTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Extracts the port's telemetry, leaving `None` behind (the merge
+    /// into a [`crate::RunResult`] consumes it this way so the rollup
+    /// is moved, not copied).
+    pub fn take_telemetry(&mut self) -> Option<Box<PortTelemetry>> {
+        self.telemetry.take()
     }
 }
 
@@ -185,6 +240,46 @@ pub(crate) struct PortSim {
     read_energy: EnergyPj,
     write_energy: EnergyPj,
     last_response_at: SimTime,
+
+    /// Telemetry mode for this run (`Off` keeps every hook below to a
+    /// single predicted-not-taken branch).
+    telem_mode: TraceConfig,
+    /// Latency decomposition folded as phases complete (enabled modes).
+    decomp: Decomposition,
+    /// Per-source-cube completion/latency tallies (enabled modes).
+    fairness: FairnessTracker,
+    /// `BankAccess` span tracer, one track per controller (`Full` only).
+    ctrl_tracer: LifecycleTracer,
+    /// Tracer track per controller, indexed like `ctrl`.
+    ctrl_tracks: Vec<u32>,
+    /// Host→node zero-contention path cost, `class_idx * n + node`
+    /// (populated for cube nodes in enabled modes; zeros otherwise).
+    wire_to: Vec<WireCost>,
+    /// Node→host zero-contention path cost, same indexing.
+    wire_from: Vec<WireCost>,
+    /// Control/data packet sizes, for wire-cost evaluation.
+    control_bytes: u64,
+    data_bytes: u64,
+}
+
+/// Dense index for the two routing planes in the wire-cost tables.
+#[inline]
+fn class_idx(class: PathClass) -> usize {
+    match class {
+        PathClass::Read => 0,
+        PathClass::Write => 1,
+    }
+}
+
+/// Sums link timing over a routed path.
+fn path_cost(topo: &Topology, noc: &mn_noc::NocConfig, links: &[mn_topo::LinkId]) -> WireCost {
+    let mut cost = WireCost::default();
+    for &l in links {
+        let timing = noc.link_timing(topo.link(l).class);
+        cost.byte_ps += timing.ps_per_byte;
+        cost.fixed_ps += timing.fixed_latency.as_ps();
+    }
+    cost
 }
 
 impl PortSim {
@@ -211,9 +306,16 @@ impl PortSim {
             config.interleave_bytes,
             config.banks_per_quadrant,
         );
+        let trace_mode = config.noc.trace;
         let mut ctrl = Vec::new();
         let mut ctrl_base = Vec::with_capacity(topo.node_count());
         let mut cube_tech = Vec::with_capacity(topo.node_count());
+        let mut ctrl_tracer = LifecycleTracer::new(if trace_mode.tracing() {
+            CTRL_TRACER_CAPACITY
+        } else {
+            1
+        });
+        let mut ctrl_tracks = Vec::new();
         for id in topo.node_ids() {
             match topo.node(id).kind {
                 mn_topo::NodeKind::Cube(tech) => {
@@ -222,7 +324,10 @@ impl PortSim {
                         CubeTech::Nvm => MemTechSpec::nvm_pcm(),
                     };
                     ctrl_base.push(u32::try_from(ctrl.len()).expect("controller count fits u32"));
-                    for _ in 0..QUADRANTS {
+                    for q in 0..QUADRANTS {
+                        if trace_mode.tracing() {
+                            ctrl_tracks.push(ctrl_tracer.add_track(format!("cube {id} q{q}")));
+                        }
                         ctrl.push(QuadrantController::new(
                             spec,
                             config.banks_per_quadrant,
@@ -237,6 +342,40 @@ impl PortSim {
                 }
             }
         }
+        // Zero-contention wire costs per (routing plane, cube), from the
+        // routed paths the network will actually use (fault rerouting
+        // included). The decomposition subtracts these from measured
+        // phase latencies to expose the queuing component.
+        let mut wire_to = Vec::new();
+        let mut wire_from = Vec::new();
+        if trace_mode.enabled() {
+            let n = topo.node_count();
+            let host = topo.host();
+            wire_to = vec![WireCost::default(); 2 * n];
+            wire_from = vec![WireCost::default(); 2 * n];
+            for class in [PathClass::Read, PathClass::Write] {
+                for id in topo.node_ids() {
+                    if cube_tech[id.index()].is_none() {
+                        continue;
+                    }
+                    let slot = class_idx(class) * n + id.index();
+                    let to = net.routes().path_links(class, host, id);
+                    let from = net.routes().path_links(class, id, host);
+                    wire_to[slot] = path_cost(&topo, &config.noc, &to);
+                    wire_from[slot] = path_cost(&topo, &config.noc, &from);
+                }
+            }
+        }
+        let decomp = if trace_mode.enabled() {
+            Decomposition::with_max_hops(topo.node_count())
+        } else {
+            Decomposition::default()
+        };
+        let fairness = FairnessTracker::new(if trace_mode.enabled() {
+            topo.node_count()
+        } else {
+            0
+        });
         // Steady-state sizing: every host-side container is reserved to
         // its backpressure bound up front, so the simulation loop itself
         // never grows one. A burst is at most `1 + 4 * burst_mean` refs
@@ -286,6 +425,15 @@ impl PortSim {
             read_energy: EnergyPj::ZERO,
             write_energy: EnergyPj::ZERO,
             last_response_at: SimTime::ZERO,
+            telem_mode: trace_mode,
+            decomp,
+            fairness,
+            ctrl_tracer,
+            ctrl_tracks,
+            wire_to,
+            wire_from,
+            control_bytes: u64::from(config.noc.control_bytes),
+            data_bytes: u64::from(config.noc.data_bytes),
         })
     }
 
@@ -348,6 +496,21 @@ impl PortSim {
         let delivered = self.net.stats().delivered.value().max(1);
         let mut kernel = self.net.kernel_counters();
         kernel.steady_heap_allocs = counters::heap_allocs() - allocs_at_start;
+        // Telemetry extraction (labels, rollup) happens after the
+        // steady-state allocation tally is frozen: export cost is
+        // end-of-run, not hot-loop.
+        let telemetry = self.net.take_telemetry().map(|net| {
+            Box::new(PortTelemetry {
+                summary: TelemetrySummary {
+                    decomp: self.decomp,
+                    fairness: self.fairness,
+                    queue_depth: net.queue_depth.clone(),
+                    peak_link_utilization: net.peak_link_utilization(),
+                },
+                net,
+                ctrl_tracer: self.ctrl_tracer,
+            })
+        });
         Ok(PortObservation {
             wall: self.last_response_at,
             breakdown: self.breakdown,
@@ -370,6 +533,7 @@ impl PortSim {
             },
             avg_hops: self.hop_sum as f64 / delivered as f64,
             kernel,
+            telemetry,
         })
     }
 
@@ -381,6 +545,11 @@ impl PortSim {
             total: self.total_requests,
             outstanding: self.outstanding,
             queued: self.host_queue.len(),
+            // `outstanding` counts host tokens; packets parked in the
+            // network arena with no pending event (e.g. waiting on
+            // credits nobody will return) only show up here.
+            in_network: self.net.in_flight(),
+            flight: self.net.flight_dump(),
         }
     }
 
@@ -544,6 +713,18 @@ impl PortSim {
             self.breakdown
                 .to_memory
                 .record(d.arrived_at.saturating_since(rec.offered_at));
+            if self.telem_mode.enabled() {
+                let phase = d.arrived_at.saturating_since(rec.offered_at);
+                let bytes = if d.packet.kind.carries_data() {
+                    self.data_bytes
+                } else {
+                    self.control_bytes
+                };
+                let slot = class_idx(d.packet.class) * self.topo.node_count() + node.index();
+                // Clamp so queue + wire always reconstruct the phase.
+                let wire = self.wire_to[slot].wire(bytes).min(phase);
+                self.decomp.record_request(phase.saturating_sub(wire), wire);
+            }
             // Requests entering via the wrong quadrant pay 1 ns to cross
             // the cube-internal switch (§5). With four quadrants, three of
             // four uniformly interleaved requests pay it; quadrant 0 is the
@@ -605,6 +786,19 @@ impl PortSim {
                     self.breakdown
                         .in_memory
                         .record(c.completed_at.saturating_since(rec.arrived_at_cube));
+                    if self.telem_mode.enabled() {
+                        let service = c.completed_at.saturating_since(rec.arrived_at_cube);
+                        self.decomp.record_array(service);
+                        if self.telem_mode.tracing() {
+                            self.ctrl_tracer.record(TraceEvent {
+                                ts_ps: rec.arrived_at_cube.as_ps(),
+                                dur_ps: service.as_ps(),
+                                track: self.ctrl_tracks[base as usize + q],
+                                kind: TraceEventKind::BankAccess,
+                                packet: c.token,
+                            });
+                        }
+                    }
                     let energy = EnergyPj::array_access(&spec.energy, ACCESS_BITS, c.is_write);
                     if c.is_write {
                         self.write_energy += energy;
@@ -661,6 +855,22 @@ impl PortSim {
         self.breakdown
             .from_memory
             .record(at.saturating_since(rec.mem_done));
+        if self.telem_mode.enabled() {
+            let phase = at.saturating_since(rec.mem_done);
+            let bytes = if response.kind.carries_data() {
+                self.data_bytes
+            } else {
+                self.control_bytes
+            };
+            let slot =
+                class_idx(response.class) * self.topo.node_count() + rec.decoded.cube.index();
+            let wire = self.wire_from[slot].wire(bytes).min(phase);
+            self.decomp
+                .record_response(phase.saturating_sub(wire), wire);
+            let total = at.saturating_since(rec.offered_at);
+            self.decomp.record_total(response.hops() as usize, total);
+            self.fairness.record(rec.decoded.cube.index(), total);
+        }
         self.outstanding -= 1;
         self.completed += 1;
         self.last_response_at = self.last_response_at.max(at);
@@ -851,6 +1061,58 @@ mod tests {
             let r = run(&quick_config(TopologyKind::MetaCube, frac), Workload::Buff);
             assert_eq!(r.reads + r.writes, 500, "fraction {frac}");
         }
+    }
+
+    #[test]
+    fn full_tracing_does_not_perturb_results() {
+        let c = quick_config(TopologyKind::SkipList, 0.5);
+        let base = run(&c, Workload::Kmeans);
+        let mut traced_cfg = c.clone();
+        traced_cfg.noc.trace = TraceConfig::Full;
+        let traced = run(&traced_cfg, Workload::Kmeans);
+        // Observation must not perturb: identical event stream, wall
+        // clock, and statistics with telemetry fully armed.
+        assert_eq!(base.wall, traced.wall);
+        assert_eq!(base.kernel_events(), traced.kernel_events());
+        assert_eq!(base.reads, traced.reads);
+        assert_eq!(
+            base.breakdown.to_memory.mean_ns(),
+            traced.breakdown.to_memory.mean_ns()
+        );
+        assert!(base.telemetry().is_none());
+
+        let t = traced.telemetry().expect("full mode collects telemetry");
+        let d = &t.summary.decomp;
+        // The three decomposition components reconstruct the measured
+        // end-to-end mean exactly (each phase is split losslessly).
+        let sum = d.request_ns() + d.array_ns() + d.response_ns();
+        let measured = d.end_to_end().mean_ns();
+        assert!(
+            (sum - measured).abs() < 1e-6,
+            "components {sum} vs end-to-end {measured}"
+        );
+        assert_eq!(d.end_to_end().count(), 500);
+        let jain = t.summary.fairness.jain();
+        assert!(jain > 0.0 && jain <= 1.0, "jain {jain}");
+        assert!(t.summary.fairness.active_sources() > 1);
+        assert!(t.summary.queue_depth.total() > 0);
+        assert!(t.summary.peak_link_utilization > 0.0);
+        assert!(!t.net.tracer.is_empty(), "link tracer saw events");
+        assert!(!t.ctrl_tracer.is_empty(), "bank spans recorded");
+    }
+
+    #[test]
+    fn counters_mode_skips_rings_but_keeps_rollup() {
+        let mut c = quick_config(TopologyKind::Chain, 1.0);
+        c.noc.trace = TraceConfig::Counters;
+        let r = run(&c, Workload::Dct);
+        let t = r.telemetry().expect("counters mode collects the rollup");
+        assert!(!t.summary.decomp.is_empty());
+        assert!(
+            t.net.tracer.is_empty(),
+            "no per-event rings in counters mode"
+        );
+        assert!(t.ctrl_tracer.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use mn_mem::EnergyPj;
 use mn_sim::{Accumulator, Histogram, SimDuration, SimTime};
+use mn_telemetry::TelemetrySummary;
 
 /// The three-way latency split of the paper's Fig. 5: time spent getting to
 /// the cube, inside the memory arrays, and returning to the host.
@@ -97,6 +98,11 @@ pub struct RunResult {
     /// matter here: arbitration schemes move the p95/p99 far more than the
     /// mean (the §4.1 parking-lot problem starves the farthest requests).
     pub read_latency: Histogram,
+    /// Cross-port telemetry rollup (latency decomposition, fairness,
+    /// queue depth, peak link utilization). `None` when the run's
+    /// [`mn_noc::TraceConfig`] was `Off` — the default, and the mode
+    /// every cached or fingerprinted result is produced under.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunResult {
@@ -185,6 +191,7 @@ mod tests {
             row_hit_rate: 0.0,
             avg_hops: 0.0,
             read_latency: hist,
+            telemetry: None,
         };
         assert!((r.throughput_per_us() - 100.0).abs() < 1e-9);
         assert!(r.read_latency_quantile(0.5) <= SimDuration::from_ns(100));

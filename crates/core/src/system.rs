@@ -110,8 +110,9 @@ pub fn merge_port_observations(
     let mut read_latency = mn_sim::Histogram::new();
     let mut hit_rate_sum = 0.0;
     let mut hops_sum = 0.0;
+    let mut telemetry: Option<mn_telemetry::TelemetrySummary> = None;
 
-    for result in observations {
+    for mut result in observations {
         wall = wall.max(result.wall);
         breakdown.merge(&result.breakdown);
         energy.merge(&result.energy);
@@ -120,6 +121,13 @@ pub fn merge_port_observations(
         writes += result.writes;
         hit_rate_sum += result.row_hit_rate;
         hops_sum += result.avg_hops;
+        // Telemetry merges in the same ascending-port order as the
+        // float statistics above; the rollup is deterministic too.
+        if let Some(t) = result.take_telemetry() {
+            telemetry
+                .get_or_insert_with(mn_telemetry::TelemetrySummary::default)
+                .merge(&t.summary);
+        }
     }
 
     let n = f64::from(port_count(config));
@@ -134,6 +142,7 @@ pub fn merge_port_observations(
         row_hit_rate: hit_rate_sum / n,
         avg_hops: hops_sum / n,
         read_latency,
+        telemetry,
     }
 }
 

@@ -66,6 +66,10 @@ pub struct NocConfig {
     /// Link-fault injection (disabled in the paper baseline; see
     /// [`FaultConfig`]).
     pub fault: FaultConfig,
+    /// Telemetry mode (off by default; see [`mn_telemetry::TraceConfig`]).
+    /// Purely observational: no setting changes the event stream or the
+    /// simulated results.
+    pub trace: mn_telemetry::TraceConfig,
 }
 
 impl NocConfig {
@@ -90,6 +94,7 @@ impl NocConfig {
             duplex: LinkDuplex::Half,
             transport_pj_per_bit_hop: 5.0,
             fault: FaultConfig::none(),
+            trace: mn_telemetry::TraceConfig::Off,
         }
     }
 

@@ -76,6 +76,7 @@ mod network;
 mod packet;
 mod policy;
 mod stats;
+mod telem;
 
 pub use arbiter::{
     Arbiter, ArbiterImpl, ArbiterKind, Candidate, DistanceArbiter, OldestFirstArbiter,
@@ -83,7 +84,9 @@ pub use arbiter::{
 };
 pub use config::{LinkDuplex, LinkTiming, NocConfig};
 pub use fault::{FaultConfig, FaultModel, FaultStats};
+pub use mn_telemetry::TraceConfig;
 pub use network::{Delivery, IntoSharedTopology, Network, NetworkError, NetworkFull};
 pub use packet::{Packet, PacketId, PacketKind, VirtualChannel};
 pub use policy::WriteBurstDetector;
 pub use stats::NetStats;
+pub use telem::NetTelemetry;

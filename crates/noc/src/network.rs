@@ -38,6 +38,7 @@ use crate::config::{LinkDuplex, NocConfig};
 use crate::fault::{FaultModel, FaultStats};
 use crate::packet::{Packet, PacketId, VirtualChannel};
 use crate::stats::NetStats;
+use crate::telem::{FlightEntry, NetTelem, NetTelemetry};
 
 const VC: usize = VirtualChannel::COUNT;
 
@@ -275,6 +276,11 @@ pub struct Network {
     /// executes exactly the pre-fault-model arithmetic (the bit-identical
     /// baseline contract).
     faults: Option<FaultModel>,
+    /// Telemetry state. Every hook early-returns on the mode enum
+    /// (`Off` by default), so the instrumented hot path costs one
+    /// predictable branch; rings and series are pre-sized here at
+    /// construction so even `Full` tracing allocates nothing per event.
+    telem: NetTelem,
 }
 
 impl Network {
@@ -304,6 +310,7 @@ impl Network {
     ) -> Result<Network, NetworkError> {
         let topo = topo.into_shared();
         config.validate();
+        let config_trace = config.trace;
         let faults = config
             .fault
             .enabled()
@@ -420,6 +427,7 @@ impl Network {
             next_packet_id: 0,
             stats,
             faults,
+            telem: NetTelem::new(config_trace, &topo),
             topo,
         })
     }
@@ -485,11 +493,12 @@ impl Network {
         let port = meta.ext_ports as usize + local_port;
         let vc = packet.kind.virtual_channel().index();
         let handle = self.packets.insert(packet);
-        self.bufs[meta.buf_idx(port, vc)]
-            .queue
-            .push_back((handle, now));
+        let buf = &mut self.bufs[meta.buf_idx(port, vc)];
+        buf.queue.push_back((handle, now));
+        let depth = buf.queue.len();
         self.buffered[node.index()] += 1;
         self.stats.injected.incr();
+        self.telem.on_inject(now, node, id, depth);
         self.request_arb(node, now);
         Ok(id)
     }
@@ -522,6 +531,20 @@ impl Network {
         ready.clear();
         while self.events.peek_time().is_some_and(|t| t <= now) {
             let (t, event) = self.events.pop().expect("peeked");
+            if self.telem.tracing() {
+                self.telem.on_kernel_event(match event {
+                    NetEvent::Arrive { node, port, packet } => FlightEntry::Arrive {
+                        at: t,
+                        node,
+                        port,
+                        packet: self
+                            .packets
+                            .get(packet)
+                            .map_or(PacketId(u64::MAX), |p| p.id),
+                    },
+                    NetEvent::TryArb { node } => FlightEntry::TryArb { at: t, node },
+                });
+            }
             match event {
                 NetEvent::Arrive { node, port, packet } => {
                     self.handle_arrival(node, port, packet, t);
@@ -603,6 +626,7 @@ impl Network {
             .expect("in-flight packet is live");
         packet.record_hop();
         let kind = packet.kind;
+        let id = packet.id;
         self.stats.hops.incr();
         self.stats.bit_hops += u64::from(self.config.packet_bytes(kind)) * 8;
         let vc = kind.virtual_channel().index();
@@ -610,7 +634,9 @@ impl Network {
         debug_assert!(buf.reserved > 0, "arrival without reservation");
         buf.reserved -= 1;
         buf.queue.push_back((handle, now));
+        let depth = buf.queue.len();
         self.buffered[node.index()] += 1;
+        self.telem.on_enqueue(now, node, id, depth);
         self.request_arb(node, now);
     }
 
@@ -670,6 +696,10 @@ impl Network {
                 .pop_front()
                 .expect("head exists");
             self.buffered[n] -= 1;
+            if self.telem.tracing() {
+                let id = self.packets.get(handle).expect("ejected packet is live").id;
+                self.telem.on_eject(now, node, id);
+            }
             self.eject[n * VC + vc].queue.push_back((handle, now));
             if !self.ready_pending[n] {
                 self.ready_pending[n] = true;
@@ -730,10 +760,10 @@ impl Network {
                 if head.dst == node {
                     continue; // ejection's job
                 }
-                let Some((_, next_link)) = self.routes.next_hop(head.class, node, head.dst) else {
-                    continue;
-                };
-                if next_link != link {
+                // One indexed load against the flattened route table;
+                // the NO_PORT sentinel (self/unreachable) never matches
+                // a real output port.
+                if self.routes.next_port(head.class, node, head.dst) != out_port as u16 {
                     continue;
                 }
                 let weight = self.arbiters[out_arb].weigh(head);
@@ -762,18 +792,18 @@ impl Network {
         self.buffered[node.index()] -= 1;
         self.bufs[neighbor_meta.buf_idx(neighbor_port, vc)].reserved += 1;
 
-        let kind = self
-            .packets
-            .get(handle)
-            .expect("selected packet is live")
-            .kind;
+        let moved = self.packets.get(handle).expect("selected packet is live");
+        let kind = moved.kind;
+        let id = moved.id;
         let timing = self.config.link_timing(link_info.class);
-        let mut ser = timing.serialize(self.config.packet_bytes(kind));
+        let base_ser = timing.serialize(self.config.packet_bytes(kind));
+        let mut ser = base_ser;
         if let Some(fm) = &mut self.faults {
             // Lane degradation and CRC retry/replay stretch the occupancy;
             // the packet itself always gets through (latency, not loss).
             ser = fm.traverse(link, ser);
         }
+        self.telem.on_link_send(now, link, id, ser, ser != base_ser);
         let free_at = now + ser;
         self.link_free_at[link.index()][dir] = free_at;
         self.stats.link_busy[link.index() * 2 + dir] += ser;
@@ -805,6 +835,21 @@ impl Network {
         // Local ports are fed by the host core / cube logic, which polls
         // `can_inject` — nothing to wake inside the network.
         self.request_arb(node, now);
+    }
+
+    /// Extracts the telemetry collected so far (lifecycle tracer, link
+    /// utilization series, queue-depth distribution), or `None` when the
+    /// configured mode was [`mn_telemetry::TraceConfig::Off`]. Intended
+    /// to be called once, after the run completes.
+    pub fn take_telemetry(&mut self) -> Option<NetTelemetry> {
+        self.telem.take(&self.topo)
+    }
+
+    /// The flight recorder's retained kernel events, oldest first,
+    /// rendered for a stall post-mortem. Empty unless the configured
+    /// mode was [`mn_telemetry::TraceConfig::Full`].
+    pub fn flight_dump(&self) -> Vec<String> {
+        self.telem.flight_dump()
     }
 
     /// Total internal events processed since construction — the denominator
@@ -889,6 +934,61 @@ mod tests {
         let expect = SimTime::from_ps(4 * (16 * 33 + 2000));
         assert_eq!(d.arrived_at, expect);
         assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_tracing_observes_without_perturbing() {
+        let topo = chain(4);
+        let dst = topo.cube_at_position(4).unwrap();
+        let run = |trace| {
+            let cfg = NocConfig {
+                trace,
+                ..NocConfig::default()
+            };
+            let mut net = Network::new(&topo, cfg);
+            for t in 0..3 {
+                let pkt = Packet::request(t, PacketKind::ReadRequest, topo.host(), dst);
+                net.inject(topo.host(), 0, pkt, SimTime::ZERO).unwrap();
+            }
+            let deliveries = run_to_quiescence(&mut net);
+            let telemetry = net.take_telemetry();
+            (deliveries, telemetry)
+        };
+        let (off, off_telemetry) = run(mn_telemetry::TraceConfig::Off);
+        let (full, full_telemetry) = run(mn_telemetry::TraceConfig::Full);
+        // Identical deliveries (packets, nodes, timestamps) either way.
+        assert_eq!(off, full);
+        assert!(off_telemetry.is_none());
+        let telemetry = full_telemetry.expect("full mode collects telemetry");
+        // Lifecycle: 3 injects, ejects, and one traverse span per hop.
+        let events: Vec<_> = telemetry.tracer.events().collect();
+        use mn_telemetry::TraceEventKind as K;
+        let count = |k: K| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(K::Inject), 3);
+        assert_eq!(count(K::Eject), 3);
+        assert_eq!(count(K::Traverse), 12);
+        assert_eq!(count(K::Retry), 0);
+        // Spans carry the serialization occupancy.
+        let span = events.iter().find(|e| e.kind == K::Traverse).unwrap();
+        assert_eq!(span.dur_ps, 16 * 33);
+        // Link metrics saw the same busy time the stats counters did.
+        assert_eq!(telemetry.link_util.len(), topo.link_count());
+        assert!(telemetry.peak_link_utilization() > 0.0);
+        assert!(telemetry.queue_depth.peak() >= 1);
+        // The flight recorder retained the tail of the kernel stream.
+        // (It lives in the network, so dump it from a fresh traced run.)
+        let cfg = NocConfig {
+            trace: mn_telemetry::TraceConfig::Full,
+            ..NocConfig::default()
+        };
+        let mut net = Network::new(&topo, cfg);
+        let pkt = Packet::request(0, PacketKind::ReadRequest, topo.host(), dst);
+        net.inject(topo.host(), 0, pkt, SimTime::ZERO).unwrap();
+        run_to_quiescence(&mut net);
+        let dump = net.flight_dump();
+        assert!(!dump.is_empty());
+        assert!(dump.iter().any(|line| line.contains("arrive")));
+        assert!(dump.iter().any(|line| line.contains("try-arb")));
     }
 
     #[test]

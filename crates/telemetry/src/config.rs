@@ -1,0 +1,124 @@
+//! The telemetry mode knob.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How much telemetry the simulator records.
+///
+/// The default is [`TraceConfig::Off`]: every instrumentation hook reduces
+/// to one branch on this enum and the kernel's event stream, results, and
+/// allocation profile are byte-identical to an uninstrumented build.
+/// `Counters` folds aggregate metrics (latency decomposition, link
+/// utilization, queue depth, fairness) as the run progresses; `Full`
+/// additionally retains per-packet lifecycle events in pre-sized ring
+/// buffers for Chrome/Perfetto export and arms the flight recorder.
+///
+/// The variants are ordered so hooks can test `mode >= Counters`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceConfig {
+    /// No telemetry (the default): hooks compile to a single branch.
+    #[default]
+    Off,
+    /// Aggregate metrics only; no per-event ring buffers.
+    Counters,
+    /// Metrics plus the packet-lifecycle event ring and flight recorder.
+    Full,
+}
+
+impl TraceConfig {
+    /// True unless the mode is [`TraceConfig::Off`].
+    #[inline]
+    pub fn enabled(self) -> bool {
+        self != TraceConfig::Off
+    }
+
+    /// True when per-event rings (lifecycle tracer + flight recorder)
+    /// are armed, i.e. the mode is [`TraceConfig::Full`].
+    #[inline]
+    pub fn tracing(self) -> bool {
+        self == TraceConfig::Full
+    }
+}
+
+impl fmt::Display for TraceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceConfig::Off => "off",
+            TraceConfig::Counters => "counters",
+            TraceConfig::Full => "full",
+        })
+    }
+}
+
+/// Error returned when a trace-mode string (e.g. the `MN_TRACE` knob)
+/// does not name a [`TraceConfig`] variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceConfigError(String);
+
+impl fmt::Display for ParseTraceConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown trace mode `{}` (expected off, counters, or full)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceConfigError {}
+
+impl FromStr for TraceConfig {
+    type Err = ParseTraceConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("off") {
+            Ok(TraceConfig::Off)
+        } else if s.eq_ignore_ascii_case("counters") {
+            Ok(TraceConfig::Counters)
+        } else if s.eq_ignore_ascii_case("full") {
+            Ok(TraceConfig::Full)
+        } else {
+            Err(ParseTraceConfigError(s.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(TraceConfig::default(), TraceConfig::Off);
+        assert!(!TraceConfig::Off.enabled());
+        assert!(TraceConfig::Counters.enabled());
+        assert!(!TraceConfig::Counters.tracing());
+        assert!(TraceConfig::Full.tracing());
+    }
+
+    #[test]
+    fn modes_are_ordered() {
+        assert!(TraceConfig::Off < TraceConfig::Counters);
+        assert!(TraceConfig::Counters < TraceConfig::Full);
+    }
+
+    #[test]
+    fn parses_case_insensitively() {
+        assert_eq!("off".parse::<TraceConfig>().unwrap(), TraceConfig::Off);
+        assert_eq!(
+            "Counters".parse::<TraceConfig>().unwrap(),
+            TraceConfig::Counters
+        );
+        assert_eq!("FULL".parse::<TraceConfig>().unwrap(), TraceConfig::Full);
+        assert!("verbose".parse::<TraceConfig>().is_err());
+        let err = "verbose".parse::<TraceConfig>().unwrap_err();
+        assert!(err.to_string().contains("verbose"));
+    }
+
+    #[test]
+    fn displays_round_trip() {
+        for mode in [TraceConfig::Off, TraceConfig::Counters, TraceConfig::Full] {
+            assert_eq!(mode.to_string().parse::<TraceConfig>().unwrap(), mode);
+        }
+    }
+}

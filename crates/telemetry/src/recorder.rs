@@ -1,0 +1,157 @@
+//! A fixed-capacity ring that retains the most recent items.
+
+/// A flight recorder: a pre-sized ring buffer keeping the last
+/// `capacity` items pushed into it.
+///
+/// Once warm it never allocates — new items overwrite the oldest — so it
+/// can sit in the kernel hot path and be dumped when a watchdog trips.
+///
+/// # Example
+///
+/// ```
+/// use mn_telemetry::FlightRecorder;
+///
+/// let mut fr = FlightRecorder::new(2);
+/// fr.push(1);
+/// fr.push(2);
+/// fr.push(3);
+/// assert_eq!(fr.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(fr.overwritten(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest item (and the next overwrite target) once the
+    /// buffer is full; 0 while still filling.
+    next: usize,
+    overwritten: u64,
+}
+
+impl<T> FlightRecorder<T> {
+    /// Creates a recorder retaining the last `capacity` items. The full
+    /// backing store is allocated up front; a capacity of 0 is bumped
+    /// to 1.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Pushes an item, overwriting the oldest one when full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.next] = item;
+            self.next += 1;
+            if self.next == self.capacity {
+                self.next = 0;
+            }
+            self.overwritten += 1;
+        }
+    }
+
+    /// Number of items currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many items have been pushed out of the ring to make room.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates retained items oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (older, newer) = self.buf.split_at(self.next.min(self.buf.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// Empties the ring, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.overwritten = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let mut fr = FlightRecorder::new(4);
+        assert!(fr.is_empty());
+        for i in 0..4 {
+            fr.push(i);
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.overwritten(), 0);
+        assert_eq!(fr.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+
+        fr.push(4);
+        fr.push(5);
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.overwritten(), 2);
+        assert_eq!(fr.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_many_times_and_stays_chronological() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..100 {
+            fr.push(i);
+        }
+        assert_eq!(fr.iter().copied().collect::<Vec<_>>(), vec![97, 98, 99]);
+        assert_eq!(fr.overwritten(), 97);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        assert_eq!(fr.capacity(), 1);
+        fr.push("a");
+        fr.push("b");
+        assert_eq!(fr.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn push_does_not_reallocate() {
+        let mut fr = FlightRecorder::new(8);
+        let cap_before = fr.buf.capacity();
+        for i in 0..1000 {
+            fr.push(i);
+        }
+        assert_eq!(fr.buf.capacity(), cap_before);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut fr = FlightRecorder::new(2);
+        fr.push(1);
+        fr.push(2);
+        fr.push(3);
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.overwritten(), 0);
+        fr.push(9);
+        assert_eq!(fr.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Packet-lifecycle tracing and Chrome/Perfetto export.
+
+use std::io::{self, Write};
+
+use crate::recorder::FlightRecorder;
+
+/// What happened at a lifecycle point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Host pushed the packet into its port network.
+    Inject,
+    /// Packet won link-output arbitration.
+    ArbWin,
+    /// Packet occupied a link (span: serialization + retries).
+    Traverse,
+    /// Packet entered a downstream input buffer.
+    Enqueue,
+    /// Memory array serviced the request (span).
+    BankAccess,
+    /// A fault forced a link-level retry.
+    Retry,
+    /// Packet left the network at its destination.
+    Eject,
+}
+
+impl TraceEventKind {
+    /// Stable display name (used as the Chrome-trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Inject => "Inject",
+            TraceEventKind::ArbWin => "ArbWin",
+            TraceEventKind::Traverse => "Traverse",
+            TraceEventKind::Enqueue => "Enqueue",
+            TraceEventKind::BankAccess => "BankAccess",
+            TraceEventKind::Retry => "Retry",
+            TraceEventKind::Eject => "Eject",
+        }
+    }
+}
+
+/// One recorded lifecycle sample. `Copy` so the tracer ring never owns
+/// heap data.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Event start, picoseconds of simulated time.
+    pub ts_ps: u64,
+    /// Span length in picoseconds; 0 renders as an instant.
+    pub dur_ps: u64,
+    /// Track the event belongs to (from [`LifecycleTracer::add_track`]).
+    pub track: u32,
+    /// Lifecycle point.
+    pub kind: TraceEventKind,
+    /// Packet id (rendered as `p<n>`), or `u64::MAX` for none.
+    pub packet: u64,
+}
+
+impl TraceEvent {
+    /// Sentinel for events not tied to a packet.
+    pub const NO_PACKET: u64 = u64::MAX;
+}
+
+/// A per-domain tracer: a registry of named tracks plus a pre-sized ring
+/// of [`TraceEvent`]s.
+///
+/// Tracks are registered once at construction time (one per link, node,
+/// or controller); recording is a ring-buffer store and never allocates.
+/// When the ring wraps, the oldest events are dropped and counted.
+#[derive(Debug, Clone)]
+pub struct LifecycleTracer {
+    tracks: Vec<String>,
+    ring: FlightRecorder<TraceEvent>,
+}
+
+impl LifecycleTracer {
+    /// Creates a tracer retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        LifecycleTracer {
+            tracks: Vec::new(),
+            ring: FlightRecorder::new(capacity),
+        }
+    }
+
+    /// Registers a named track and returns its id.
+    pub fn add_track(&mut self, name: String) -> u32 {
+        let id = u32::try_from(self.tracks.len()).expect("track count fits u32");
+        self.tracks.push(name);
+        id
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        self.ring.push(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.ring.overwritten()
+    }
+
+    /// Number of registered tracks.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Name of a track, if registered.
+    pub fn track_name(&self, id: u32) -> Option<&str> {
+        self.tracks.get(id as usize).map(String::as_str)
+    }
+}
+
+/// One process row in a Chrome/Perfetto trace: a pid, a display name,
+/// and the tracer whose tracks become its threads.
+#[derive(Debug)]
+pub struct TraceProcess<'a> {
+    /// Chrome-trace process id (must be unique per process).
+    pub pid: u32,
+    /// Display name for the process row.
+    pub name: &'a str,
+    /// The tracer providing this process's tracks and events.
+    pub tracer: &'a LifecycleTracer,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_us(value_ps: u64, out: &mut String) {
+    // Chrome-trace timestamps are fractional microseconds; 1 ps is
+    // exactly 1e-6 us, so six decimals are lossless.
+    let us = value_ps / 1_000_000;
+    let frac = value_ps % 1_000_000;
+    out.push_str(&format!("{us}.{frac:06}"));
+}
+
+/// Writes a Chrome/Perfetto `trace.json` (JSON object format, loadable
+/// in `ui.perfetto.dev` and `chrome://tracing`) covering the given
+/// processes. Spans (`dur_ps > 0`) become `X` complete events; the rest
+/// become thread-scoped instants.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_chrome_trace<W: Write>(w: &mut W, processes: &[TraceProcess<'_>]) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+    for p in processes {
+        sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"",
+            p.pid
+        ));
+        escape_json(p.name, &mut out);
+        out.push_str("\"}}");
+        for tid in 0..p.tracer.track_count() {
+            sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"",
+                p.pid,
+                tid + 1
+            ));
+            escape_json(p.tracer.track_name(tid as u32).unwrap_or(""), &mut out);
+            out.push_str("\"}}");
+        }
+    }
+    for p in processes {
+        for ev in p.tracer.events() {
+            sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":",
+                ev.kind.name(),
+                if ev.dur_ps > 0 { "X" } else { "i" },
+                p.pid,
+                ev.track + 1,
+            ));
+            push_us(ev.ts_ps, &mut out);
+            if ev.dur_ps > 0 {
+                out.push_str(",\"dur\":");
+                push_us(ev.dur_ps, &mut out);
+            } else {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if ev.packet != TraceEvent::NO_PACKET {
+                out.push_str(&format!(",\"args\":{{\"packet\":\"p{}\"}}", ev.packet));
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    w.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tracer() -> LifecycleTracer {
+        let mut t = LifecycleTracer::new(8);
+        let link = t.add_track("link host-c1".to_string());
+        let node = t.add_track("node c1 \"q\"".to_string());
+        t.record(TraceEvent {
+            ts_ps: 1_500_000,
+            dur_ps: 528,
+            track: link,
+            kind: TraceEventKind::Traverse,
+            packet: 7,
+        });
+        t.record(TraceEvent {
+            ts_ps: 2_000_000,
+            dur_ps: 0,
+            track: node,
+            kind: TraceEventKind::Eject,
+            packet: 7,
+        });
+        t
+    }
+
+    #[test]
+    fn tracks_register_and_resolve() {
+        let t = sample_tracer();
+        assert_eq!(t.track_count(), 2);
+        assert_eq!(t.track_name(0), Some("link host-c1"));
+        assert_eq!(t.track_name(9), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_events() {
+        let mut t = LifecycleTracer::new(2);
+        let track = t.add_track("x".to_string());
+        for i in 0..5 {
+            t.record(TraceEvent {
+                ts_ps: i,
+                dur_ps: 0,
+                track,
+                kind: TraceEventKind::Inject,
+                packet: i,
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let ts: Vec<u64> = t.events().map(|e| e.ts_ps).collect();
+        assert_eq!(ts, vec![3, 4]);
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_spans_and_instants() {
+        let t = sample_tracer();
+        let mut buf = Vec::new();
+        write_chrome_trace(
+            &mut buf,
+            &[TraceProcess {
+                pid: 1,
+                name: "network",
+                tracer: &t,
+            }],
+        )
+        .unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"network\""));
+        assert!(json.contains("\"link host-c1\""));
+        // Quotes in track names are escaped.
+        assert!(json.contains("node c1 \\\"q\\\""));
+        // The span: 1.5 us start, 528 ps duration.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500000"));
+        assert!(json.contains("\"dur\":0.000528"));
+        // The instant carries a scope and the packet label.
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"packet\":\"p7\""));
+        // Balanced braces => structurally plausible JSON.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn timestamps_are_lossless_microseconds() {
+        let mut s = String::new();
+        push_us(1, &mut s);
+        assert_eq!(s, "0.000001");
+        let mut s = String::new();
+        push_us(123_456_789, &mut s);
+        assert_eq!(s, "123.456789");
+    }
+}

@@ -63,4 +63,4 @@ pub use error::TopologyError;
 pub use graph::{LinkClass, LinkId, LinkInfo, NodeId, NodeInfo, NodeKind, Topology, TopologyKind};
 pub use metrics::{render_ascii, TopologyMetrics};
 pub use placement::{CubeTech, NvmPlacement, Placement};
-pub use routing::{PathClass, RoutingTable};
+pub use routing::{PathClass, RoutingTable, NO_PORT};

@@ -33,6 +33,10 @@ impl PathClass {
 
 const UNREACHABLE: u32 = u32::MAX;
 
+/// Sentinel in the flattened routing table: no next hop exists (the
+/// packet is at its destination, or the pair is unreachable).
+pub const NO_PORT: u16 = u16::MAX;
+
 /// Per-class next-hop and distance tables.
 #[derive(Debug, Clone)]
 struct ClassTable {
@@ -65,6 +69,15 @@ struct ClassTable {
 pub struct RoutingTable {
     read: ClassTable,
     write: ClassTable,
+    /// Node count, the row stride of the flattened tables.
+    n: usize,
+    /// Dense `src * n + dst -> (out_port, dist)` tables (`out_port` is
+    /// `src`'s adjacency index toward the next hop), so a router's
+    /// candidate scan costs one indexed load instead of two nested
+    /// `Vec` derefs plus a link comparison. [`NO_PORT`] fills entries
+    /// with no next hop.
+    flat_read: Vec<(u16, u16)>,
+    flat_write: Vec<(u16, u16)>,
 }
 
 impl RoutingTable {
@@ -73,10 +86,11 @@ impl RoutingTable {
     /// is the topology's deterministic adjacency order, so routes are
     /// reproducible.
     pub fn compute(topo: &Topology) -> RoutingTable {
-        RoutingTable {
-            read: Self::compute_class(topo, true, &[]),
-            write: Self::compute_class(topo, false, &[]),
-        }
+        Self::assemble(
+            topo,
+            Self::compute_class(topo, true, &[]),
+            Self::compute_class(topo, false, &[]),
+        )
     }
 
     /// Computes routing tables for `topo` treating every link in `dead` as
@@ -104,7 +118,43 @@ impl RoutingTable {
                 }
             }
         }
-        RoutingTable { read, write }
+        Self::assemble(topo, read, write)
+    }
+
+    /// Builds the dense flattened tables from the per-class next-hop
+    /// tables. Must run after any fault patching of `next_hop`/`dist`.
+    fn assemble(topo: &Topology, read: ClassTable, write: ClassTable) -> RoutingTable {
+        let flat_read = Self::flatten(topo, &read);
+        let flat_write = Self::flatten(topo, &write);
+        RoutingTable {
+            read,
+            write,
+            n: topo.node_count(),
+            flat_read,
+            flat_write,
+        }
+    }
+
+    fn flatten(topo: &Topology, table: &ClassTable) -> Vec<(u16, u16)> {
+        let n = topo.node_count();
+        let mut flat = vec![(NO_PORT, NO_PORT); n * n];
+        for src in topo.node_ids() {
+            for dst in topo.node_ids() {
+                let (s, d) = (src.index(), dst.index());
+                let Some((_, link)) = table.next_hop[s][d] else {
+                    continue;
+                };
+                let port = topo
+                    .neighbors(src)
+                    .iter()
+                    .position(|&(_, l)| l == link)
+                    .expect("next-hop link is adjacent to src");
+                let dist = table.dist[s][d];
+                debug_assert!(port < usize::from(NO_PORT) && dist < u32::from(NO_PORT));
+                flat[s * n + d] = (port as u16, dist as u16);
+            }
+        }
+        flat
     }
 
     fn compute_class(topo: &Topology, allow_skip: bool, dead: &[LinkId]) -> ClassTable {
@@ -204,6 +254,26 @@ impl RoutingTable {
     /// or `None` if `at == dst`.
     pub fn next_hop(&self, class: PathClass, at: NodeId, dst: NodeId) -> Option<(NodeId, LinkId)> {
         self.class(class).next_hop[at.index()][dst.index()]
+    }
+
+    /// The flattened routing entry for `at → dst` on `class`: the output
+    /// port to take (`at`'s adjacency index, i.e. the position of the
+    /// next-hop link in `topo.neighbors(at)`) and the remaining distance
+    /// in hops, fetched with a single indexed load. Both components are
+    /// [`NO_PORT`] when `at == dst` or the pair is unreachable.
+    #[inline]
+    pub fn port_and_dist(&self, class: PathClass, at: NodeId, dst: NodeId) -> (u16, u16) {
+        let flat = match class {
+            PathClass::Read => &self.flat_read,
+            PathClass::Write => &self.flat_write,
+        };
+        flat[at.index() * self.n + dst.index()]
+    }
+
+    /// The output-port component of [`RoutingTable::port_and_dist`].
+    #[inline]
+    pub fn next_port(&self, class: PathClass, at: NodeId, dst: NodeId) -> u16 {
+        self.port_and_dist(class, at, dst).0
     }
 
     /// The full node sequence from `src` to `dst` (inclusive of both).
@@ -462,6 +532,60 @@ mod tests {
             .path_links(PathClass::Write, t.host(), near)
             .iter()
             .all(|&l| !t.link(l).skip));
+    }
+
+    /// The flattened table must agree with the pointer-chasing one on
+    /// every (class, src, dst) triple — it is a pure acceleration.
+    fn assert_flat_matches(t: &Topology, r: &RoutingTable) {
+        for src in t.node_ids() {
+            for dst in t.node_ids() {
+                for class in PathClass::ALL {
+                    let (port, dist) = r.port_and_dist(class, src, dst);
+                    match r.next_hop(class, src, dst) {
+                        None => {
+                            assert_eq!(port, NO_PORT, "{src}->{dst}");
+                            assert_eq!(dist, NO_PORT, "{src}->{dst}");
+                        }
+                        Some((_, link)) => {
+                            let (_, expected_link) = t.neighbors(src)[usize::from(port)];
+                            assert_eq!(expected_link, link, "{src}->{dst}");
+                            assert_eq!(u32::from(dist), r.hops(class, src, dst), "{src}->{dst}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_table_matches_next_hop_on_all_topologies() {
+        for kind in TopologyKind::ALL {
+            let (t, r) = build(kind, 16);
+            assert_flat_matches(&t, &r);
+        }
+    }
+
+    #[test]
+    fn flat_table_matches_next_hop_after_fault_rerouting() {
+        // compute_avoiding patches write routes from the read plane after
+        // the per-class BFS; the flat tables must reflect the patched
+        // routes, not the raw ones.
+        let (t, _) = build(TopologyKind::SkipList, 16);
+        let c8 = t.cube_at_position(8).unwrap();
+        let c9 = t.cube_at_position(9).unwrap();
+        let dead = link_between(&t, c8, c9);
+        let r = RoutingTable::compute_avoiding(&t, &[dead]);
+        assert_flat_matches(&t, &r);
+        // And an unreachable pair reports the sentinel.
+        let (t2, _) = build(TopologyKind::Chain, 8);
+        let c4 = t2.cube_at_position(4).unwrap();
+        let c5 = t2.cube_at_position(5).unwrap();
+        let cut = RoutingTable::compute_avoiding(&t2, &[link_between(&t2, c4, c5)]);
+        let far = t2.cube_at_position(8).unwrap();
+        assert_eq!(
+            cut.port_and_dist(PathClass::Read, t2.host(), far),
+            (NO_PORT, NO_PORT)
+        );
     }
 
     #[test]
