@@ -20,6 +20,11 @@
 //! - `MN_TRACE` — telemetry mode `off|counters|full` (default off; purely
 //!   observational, never changes results or fingerprints — but cached
 //!   points come back without telemetry, so combine with `MN_CACHE=off`),
+//! - `MN_HOST_POLICY` — closed-loop window policy `open|fixed:<n>|aimd|ecn`
+//!   (default open: no injection gate; anything else changes the result
+//!   fingerprints),
+//! - `MN_HOST_WINDOW` — initial closed-loop window in outstanding requests
+//!   (the cap is raised to match; only meaningful with a non-open policy),
 //! - `--format text|json|csv` — append per-point records to the tables.
 //!
 //! Malformed values are reported on stderr and the default applies.
@@ -33,7 +38,7 @@ use mn_campaign::{
     env_parse, fault_rate_from_env, fault_seed_from_env, write_point_records, Campaign,
     CampaignPoint, OutputFormat, PointOutcome,
 };
-use mn_core::{mix_grid, speedup_pct, MixSpec, RunResult, SystemConfig};
+use mn_core::{mix_grid, speedup_pct, MixSpec, RunResult, SystemConfig, WindowPolicyKind};
 use mn_noc::{ArbiterKind, FaultConfig};
 use mn_sim::SimTime;
 use mn_topo::{NvmPlacement, TopologyKind};
@@ -65,6 +70,18 @@ pub fn tune(mut config: SystemConfig) -> SystemConfig {
     }
     if let Some(mode) = mn_campaign::trace_from_env() {
         config.noc.trace = mode;
+    }
+    if let Some(policy) = mn_campaign::host_policy_from_env() {
+        config.host.policy = policy;
+        // ECN windows need links that mark: give the env knob a working
+        // threshold when the config leaves marking off.
+        if policy == WindowPolicyKind::Ecn && config.noc.ecn_threshold == 0 {
+            config.noc.ecn_threshold = CLOSED_LOOP_ECN_THRESHOLD;
+        }
+    }
+    if let Some(window) = mn_campaign::host_window_from_env() {
+        config.host.initial_window = window;
+        config.host.window_cap = config.host.window_cap.max(window);
     }
     config
 }
@@ -159,6 +176,18 @@ impl Harness {
     pub fn new() -> Harness {
         Harness {
             campaign: Campaign::from_env(),
+            format: OutputFormat::from_args(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// A harness configured from the environment but with the result
+    /// cache detached — what instrumented sweeps (`closed_loop_sweep`)
+    /// use, since cache hits come back without the telemetry their
+    /// reports are built from.
+    pub fn uncached() -> Harness {
+        Harness {
+            campaign: Campaign::from_env().no_cache(),
             format: OutputFormat::from_args(),
             outcomes: Vec::new(),
         }
@@ -505,6 +534,150 @@ pub fn fault_sweep_report(harness: &mut Harness) -> String {
     out
 }
 
+/// The offered-load axis of the closed-loop sweep: wavefront issue slots
+/// per port (`SystemConfig::window`, the host's intensity knob) — more
+/// slots offer more concurrent bursts, independent of the congestion
+/// window that gates how many may be in flight.
+pub const CLOSED_LOOP_SLOTS: [usize; 3] = [1, 4, 16];
+
+/// ECN mark threshold (in buffered packets at a link output) used by the
+/// sweep's `ecn` rows and by `MN_HOST_POLICY=ecn` when the config leaves
+/// marking off.
+pub const CLOSED_LOOP_ECN_THRESHOLD: u32 = 6;
+
+/// The window policies the closed-loop sweep drives through every
+/// topology: the open-loop reference, tight and generous fixed windows,
+/// and the two adaptive policies.
+pub fn closed_loop_policies() -> Vec<WindowPolicyKind> {
+    vec![
+        WindowPolicyKind::Open,
+        WindowPolicyKind::Fixed(1),
+        WindowPolicyKind::Fixed(32),
+        WindowPolicyKind::Aimd,
+        WindowPolicyKind::Ecn,
+    ]
+}
+
+/// One closed-loop sweep point: the paper's all-DRAM baseline on
+/// `topology` with `slots` issue slots and the given window policy.
+/// Telemetry is at least `Counters` (the report needs the host rollup and
+/// fairness), and `ecn` rows get marking links.
+pub fn closed_loop_config(
+    topology: TopologyKind,
+    policy: WindowPolicyKind,
+    slots: usize,
+) -> SystemConfig {
+    let mut config = config_for(topology, 1.0, NvmPlacement::Last);
+    config.window = slots;
+    if !config.noc.trace.enabled() {
+        config.noc.trace = mn_core::TraceConfig::Counters;
+    }
+    config.host.policy = policy;
+    if policy == WindowPolicyKind::Ecn {
+        config.noc.ecn_threshold = CLOSED_LOOP_ECN_THRESHOLD;
+    }
+    config
+}
+
+/// Runs the closed-loop sweep (chain / tree / skip-list x
+/// [`closed_loop_policies`] x [`CLOSED_LOOP_SLOTS`], all-DRAM, NW
+/// workload) and renders the offered-load table plus the per-policy
+/// saturation-knee summary — exactly the `closed_loop_sweep` binary's
+/// stdout.
+pub fn closed_loop_report(harness: &mut Harness) -> String {
+    use std::fmt::Write as _;
+    const TOPOLOGIES: [TopologyKind; 3] = [
+        TopologyKind::Chain,
+        TopologyKind::Tree,
+        TopologyKind::SkipList,
+    ];
+    let policies = closed_loop_policies();
+    let mut points = Vec::new();
+    for topo in TOPOLOGIES {
+        for &policy in &policies {
+            for slots in CLOSED_LOOP_SLOTS {
+                points.push(CampaignPoint::new(
+                    closed_loop_config(topo, policy, slots),
+                    Workload::Nw,
+                ));
+            }
+        }
+    }
+    let results = harness.run_grid(points);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Closed loop: offered load x window policy (all-DRAM, NW) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<9} {:>5} {:>12} {:>10} {:>6} {:>7} {:>7}",
+        "topo", "policy", "slots", "goodput/us", "p99(ns)", "jain", "window", "marked"
+    );
+    let opt = |v: Option<f64>| match v {
+        Some(x) if x.is_finite() => format!("{x:>7.1}"),
+        _ => format!("{:>7}", "-"),
+    };
+    for (t, topo) in TOPOLOGIES.into_iter().enumerate() {
+        for (p, policy) in policies.iter().enumerate() {
+            for (s, slots) in CLOSED_LOOP_SLOTS.into_iter().enumerate() {
+                let result = &results[(t * policies.len() + p) * CLOSED_LOOP_SLOTS.len() + s];
+                let tele = result.telemetry.as_ref();
+                let host = tele.and_then(|t| t.host.as_ref());
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<9} {:>5} {:>12.3} {:>10.1} {:>6.3} {} {}",
+                    topo.label(),
+                    policy.label(),
+                    slots,
+                    result.throughput_per_us(),
+                    result.read_latency_quantile(0.99).as_ns_f64(),
+                    tele.map_or(f64::NAN, |t| t.fairness.jain()),
+                    opt(host.map(|h| h.steady_window())),
+                    opt(host.map(|h| h.marked_fraction() * 100.0)),
+                );
+            }
+        }
+    }
+
+    // The knee: the smallest offered load whose goodput is within 5% of
+    // this (topology, policy)'s peak — where adding slots stops paying.
+    let _ = writeln!(
+        out,
+        "\n-- saturation knee: smallest slot count within 5% of peak goodput --"
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<9} {:>10} {:>15}",
+        "topo", "policy", "knee", "peak goodput/us"
+    );
+    for (t, topo) in TOPOLOGIES.into_iter().enumerate() {
+        for (p, policy) in policies.iter().enumerate() {
+            let goodput = |s: usize| {
+                results[(t * policies.len() + p) * CLOSED_LOOP_SLOTS.len() + s].throughput_per_us()
+            };
+            let peak = (0..CLOSED_LOOP_SLOTS.len())
+                .map(goodput)
+                .fold(f64::MIN, f64::max);
+            let knee = CLOSED_LOOP_SLOTS
+                .into_iter()
+                .enumerate()
+                .find(|&(s, _)| goodput(s) >= 0.95 * peak)
+                .map_or(*CLOSED_LOOP_SLOTS.last().unwrap(), |(_, slots)| slots);
+            let _ = writeln!(
+                out,
+                "{:<6} {:<9} {:>10} {:>15.3}",
+                topo.label(),
+                policy.label(),
+                knee,
+                peak,
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +731,19 @@ mod tests {
         assert_eq!(base.label(), "100%-C");
         assert_eq!(base.requests_per_port, 777);
         assert_eq!(base.seed, 42);
+    }
+
+    #[test]
+    fn closed_loop_configs_wire_the_policies() {
+        let c = closed_loop_config(TopologyKind::Chain, WindowPolicyKind::Ecn, 4);
+        assert_eq!(c.window, 4);
+        assert_eq!(c.noc.ecn_threshold, CLOSED_LOOP_ECN_THRESHOLD);
+        assert!(c.host.enabled());
+        assert!(c.noc.trace.enabled());
+        let open = closed_loop_config(TopologyKind::Chain, WindowPolicyKind::Open, 1);
+        assert!(!open.host.enabled());
+        assert_eq!(open.noc.ecn_threshold, 0);
+        assert_eq!(closed_loop_policies().len(), 5);
     }
 
     #[test]

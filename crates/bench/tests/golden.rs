@@ -29,10 +29,11 @@ const FIG05_GOLDEN: &str = include_str!("../../../results/fig05.txt");
 const FIG10_GOLDEN: &str = include_str!("../../../results/fig10.txt");
 
 /// The environment knobs (`MN_REQUESTS`, `MN_SEED`, the fault overrides,
-/// and `MN_TRACE`) reshape every figure grid; the goldens were produced
-/// with the defaults (fault injection off, telemetry off). `MN_TRACE`
-/// never changes the numbers, but the from-scratch replays assert the
-/// exact default-mode behavior, so it is excluded like the rest.
+/// `MN_TRACE`, and the closed-loop host knobs) reshape every figure grid;
+/// the goldens were produced with the defaults (fault injection off,
+/// telemetry off, open-loop hosts). `MN_TRACE` never changes the numbers,
+/// but the from-scratch replays assert the exact default-mode behavior,
+/// so it is excluded like the rest.
 fn env_is_default() -> bool {
     [
         "MN_REQUESTS",
@@ -40,6 +41,8 @@ fn env_is_default() -> bool {
         "MN_FAULT_RATE",
         "MN_FAULT_SEED",
         "MN_TRACE",
+        "MN_HOST_POLICY",
+        "MN_HOST_WINDOW",
     ]
     .iter()
     .all(|knob| std::env::var_os(knob).is_none())

@@ -171,6 +171,24 @@ impl Campaign {
             canonical.push(slot);
         }
 
+        // Cache hits return results without telemetry (the codec stores
+        // only simulated quantities), so an instrumented campaign served
+        // from cache would silently lose its traces. Warn once per
+        // process instead of dropping them quietly.
+        if self.cache.is_some()
+            && !self.quiet
+            && unique.iter().any(|p| p.config.noc.trace.enabled())
+        {
+            static WARNED: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: telemetry requested with the result cache enabled; \
+                     cache hits carry no telemetry (set MN_CACHE=off for instrumented runs)"
+                );
+            }
+        }
+
         // Probe the cache up front (cheap, I/O-bound) so only the misses
         // are fanned out to the workers.
         type Slot = (Result<RunResult, CampaignError>, bool, Duration);

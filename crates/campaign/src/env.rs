@@ -100,6 +100,33 @@ pub fn trace_dir_from_env() -> Option<std::path::PathBuf> {
     Some(std::path::PathBuf::from(dir))
 }
 
+/// Closed-loop host policy override: `MN_HOST_POLICY`, one of `open`,
+/// `fixed:<n>`, `aimd`, `ecn` (case-insensitive). Anything other than
+/// `open` engages the closed loop and joins the result fingerprint, so
+/// cached open-loop results are never served for closed-loop runs.
+pub fn host_policy_from_env() -> Option<mn_host::WindowPolicyKind> {
+    env_parse("MN_HOST_POLICY")
+}
+
+/// Closed-loop window override: `MN_HOST_WINDOW`, the initial window in
+/// outstanding requests (the cap is raised to match when needed). A value
+/// of 0 is treated as malformed — the gate must always admit one request.
+pub fn host_window_from_env() -> Option<u32> {
+    match env_parse::<u32>("MN_HOST_WINDOW") {
+        Some(0) => {
+            let mut warned = WARNED.lock().unwrap();
+            if warned
+                .get_or_insert_with(HashSet::new)
+                .insert("MN_HOST_WINDOW".to_string())
+            {
+                eprintln!("warning: ignoring MN_HOST_WINDOW=0 (the window must admit a request)");
+            }
+            None
+        }
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +187,31 @@ mod tests {
             Some(std::path::PathBuf::from("/tmp/traces"))
         );
         std::env::remove_var("MN_TRACE_DIR");
+
+        // Closed-loop host knobs, same single-test discipline.
+        std::env::remove_var("MN_HOST_POLICY");
+        std::env::remove_var("MN_HOST_WINDOW");
+        assert_eq!(host_policy_from_env(), None);
+        assert_eq!(host_window_from_env(), None);
+
+        std::env::set_var("MN_HOST_POLICY", "aimd");
+        assert_eq!(
+            host_policy_from_env(),
+            Some(mn_host::WindowPolicyKind::Aimd)
+        );
+        std::env::set_var("MN_HOST_POLICY", "Fixed:12");
+        assert_eq!(
+            host_policy_from_env(),
+            Some(mn_host::WindowPolicyKind::Fixed(12))
+        );
+        std::env::set_var("MN_HOST_POLICY", "closed"); // malformed: warned
+        assert_eq!(host_policy_from_env(), None);
+        std::env::remove_var("MN_HOST_POLICY");
+
+        std::env::set_var("MN_HOST_WINDOW", "24");
+        assert_eq!(host_window_from_env(), Some(24));
+        std::env::set_var("MN_HOST_WINDOW", "0"); // degenerate: warned
+        assert_eq!(host_window_from_env(), None);
+        std::env::remove_var("MN_HOST_WINDOW");
     }
 }

@@ -58,8 +58,8 @@ pub mod sink;
 pub use cache::{cache_disabled_by_env, default_cache_dir, DiskCache};
 pub use campaign::{Campaign, CampaignOutcome, PointOutcome};
 pub use env::{
-    env_parse, fault_rate_from_env, fault_seed_from_env, jobs_from_env, trace_dir_from_env,
-    trace_from_env,
+    env_parse, fault_rate_from_env, fault_seed_from_env, host_policy_from_env,
+    host_window_from_env, jobs_from_env, trace_dir_from_env, trace_from_env,
 };
 pub use error::CampaignError;
 pub use point::{CampaignPoint, SIM_VERSION};

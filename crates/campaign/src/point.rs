@@ -9,6 +9,7 @@
 //! scheduler both key on that fingerprint.
 
 use mn_core::SystemConfig;
+use mn_host::HostConfig;
 use mn_noc::{FaultConfig, LinkTiming, NocConfig};
 use mn_workloads::Workload;
 
@@ -49,6 +50,7 @@ impl CampaignPoint {
             nvm_placement,
             topology,
             noc,
+            host,
             write_burst_routing,
             banks_per_quadrant,
             controller_queue,
@@ -75,6 +77,7 @@ impl CampaignPoint {
             duplex,
             transport_pj_per_bit_hop,
             fault,
+            ecn_threshold,
             // Telemetry is purely observational: it never changes the
             // event stream or any simulated quantity (enforced by test),
             // so traced and untraced runs of the same point share a
@@ -97,28 +100,52 @@ impl CampaignPoint {
             int = link(interposer_link),
             tpj = transport_pj_per_bit_hop.to_bits(),
         );
-        // Fault injection extends the fingerprint only when enabled, so
-        // every zero-fault fingerprint — and with it the committed result
-        // cache and the pinned golden cache keys — is unchanged.
-        if !fault.enabled() {
-            return base;
+        // Conditional features extend the fingerprint only when enabled,
+        // so every default fingerprint — and with it the committed result
+        // cache and the pinned golden cache keys — is unchanged. Each
+        // suffix below composes in a fixed order: fault, then ECN, then
+        // the closed-loop host model.
+        let mut out = base;
+        if fault.enabled() {
+            let FaultConfig {
+                transient_rate,
+                degrade_rate,
+                link_kill_rate,
+                retry_limit,
+                retry_backoff,
+                seed: fault_seed,
+            } = fault;
+            out = format!(
+                "{out};fault=tr{tr:016x}/dr{dr:016x}/kr{kr:016x}/rl{retry_limit}/\
+                 bo{bo}ps/fs{fault_seed:016x}",
+                tr = transient_rate.to_bits(),
+                dr = degrade_rate.to_bits(),
+                kr = link_kill_rate.to_bits(),
+                bo = retry_backoff.as_ps(),
+            );
         }
-        let FaultConfig {
-            transient_rate,
-            degrade_rate,
-            link_kill_rate,
-            retry_limit,
-            retry_backoff,
-            seed: fault_seed,
-        } = fault;
-        format!(
-            "{base};fault=tr{tr:016x}/dr{dr:016x}/kr{kr:016x}/rl{retry_limit}/\
-             bo{bo}ps/fs{fault_seed:016x}",
-            tr = transient_rate.to_bits(),
-            dr = degrade_rate.to_bits(),
-            kr = link_kill_rate.to_bits(),
-            bo = retry_backoff.as_ps(),
-        )
+        // ECN marking changes packet contents (and the closed loop's
+        // behavior) whenever the threshold is nonzero, independent of the
+        // host policy — fingerprint it on its own switch.
+        if *ecn_threshold != 0 {
+            out = format!("{out};ecn={ecn_threshold}");
+        }
+        // Host-model parameters join only when the closed loop actually
+        // gates injection (the fault-model discipline): the open-loop
+        // default ignores every host knob.
+        if host.enabled() {
+            let HostConfig {
+                policy,
+                window_cap,
+                initial_window,
+                target_rtt,
+            } = host;
+            out = format!(
+                "{out};host=po{policy}/cap{window_cap}/iw{initial_window}/rtt{rtt}ps",
+                rtt = target_rtt.as_ps(),
+            );
+        }
+        out
     }
 
     /// The content-address of this point: 16 hex digits of FNV-1a over the
@@ -210,6 +237,56 @@ mod tests {
         let mut d = a.clone();
         d.config.noc.fault.retry_limit += 1;
         assert_ne!(a.cache_key(), d.cache_key());
+    }
+
+    #[test]
+    fn disabled_host_leaves_the_fingerprint_alone() {
+        let a = point();
+        let mut b = point();
+        // With the open-loop policy the gate never engages, so knobs that
+        // only matter under a closed loop must not perturb the
+        // fingerprint — the committed cache depends on this.
+        b.config.host.window_cap = 7;
+        b.config.host.initial_window = 3;
+        b.config.host.target_rtt = mn_sim::SimDuration::from_ns(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!a.fingerprint().contains(";host="));
+        assert!(!a.fingerprint().contains(";ecn="));
+    }
+
+    #[test]
+    fn enabled_host_extends_the_fingerprint() {
+        let mut a = point();
+        a.config.host.policy = mn_core::WindowPolicyKind::Aimd;
+        assert_ne!(point().fingerprint(), a.fingerprint());
+        assert!(a.fingerprint().contains(";host=poaimd/"));
+
+        let mut b = a.clone();
+        b.config.host.policy = mn_core::WindowPolicyKind::Fixed(4);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.config.host.window_cap += 1;
+        assert_ne!(a.cache_key(), c.cache_key());
+        let mut d = a.clone();
+        d.config.host.initial_window += 1;
+        assert_ne!(a.cache_key(), d.cache_key());
+        let mut e = a.clone();
+        e.config.host.target_rtt = mn_sim::SimDuration::from_ns(999);
+        assert_ne!(a.cache_key(), e.cache_key());
+    }
+
+    #[test]
+    fn ecn_threshold_is_fingerprinted_when_nonzero() {
+        // ECN marking alters packet contents regardless of the host
+        // policy, so it fingerprints on its own switch.
+        let a = point();
+        let mut b = point();
+        b.config.noc.ecn_threshold = 4;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(b.fingerprint().contains(";ecn=4"));
+        let mut c = point();
+        c.config.noc.ecn_threshold = 5;
+        assert_ne!(b.cache_key(), c.cache_key());
     }
 
     #[test]

@@ -145,6 +145,18 @@ pub fn point_record(outcome: &PointOutcome) -> Record {
                     ),
                     ("p99_queue_depth", tv(t.map(|t| t.queue_depth.p99() as f64))),
                     ("peak_link_util", tv(t.map(|t| t.peak_link_utilization))),
+                    // Closed-loop columns: goodput is always measurable;
+                    // window/mark stats need a traced closed-loop run
+                    // (the host rollup rides on telemetry).
+                    ("goodput_per_us", Value::Float(r.throughput_per_us())),
+                    (
+                        "steady_window",
+                        tv(t.and_then(|t| t.host.as_ref()).map(|h| h.steady_window())),
+                    ),
+                    (
+                        "marked_fraction",
+                        tv(t.and_then(|t| t.host.as_ref()).map(|h| h.marked_fraction())),
+                    ),
                 ],
                 String::new(),
             )
@@ -180,6 +192,9 @@ pub fn point_record(outcome: &PointOutcome) -> Record {
                 ("peak_queue_depth", Value::Float(f64::NAN)),
                 ("p99_queue_depth", Value::Float(f64::NAN)),
                 ("peak_link_util", Value::Float(f64::NAN)),
+                ("goodput_per_us", Value::Float(f64::NAN)),
+                ("steady_window", Value::Float(f64::NAN)),
+                ("marked_fraction", Value::Float(f64::NAN)),
             ],
             e.to_string(),
         ),
@@ -454,6 +469,73 @@ mod tests {
             unreachable!()
         };
         assert!(jain > 0.0 && jain <= 1.0, "jain {jain}");
+    }
+
+    #[test]
+    fn closed_loop_runs_fill_host_columns() {
+        use crate::point::CampaignPoint;
+        use mn_core::SystemConfig;
+        use mn_topo::TopologyKind;
+        use mn_workloads::Workload;
+
+        let mut config = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).unwrap();
+        config.requests_per_port = 150;
+        config.noc.trace = mn_core::TraceConfig::Counters;
+        config.noc.ecn_threshold = 4;
+        config.host.policy = mn_core::WindowPolicyKind::Ecn;
+        let point = CampaignPoint::new(config, Workload::Dct);
+        let result = mn_core::simulate(&point.config, point.workload);
+        let outcome = PointOutcome {
+            point,
+            result: Ok(result),
+            cached: false,
+            host: std::time::Duration::ZERO,
+        };
+        let record = point_record(&outcome);
+        let field = |k: &str| {
+            record
+                .iter()
+                .find(|(key, _)| *key == k)
+                .unwrap_or_else(|| panic!("column {k}"))
+                .1
+                .clone()
+        };
+        let Value::Float(goodput) = field("goodput_per_us") else {
+            panic!("goodput should be a float");
+        };
+        assert!(goodput > 0.0, "goodput {goodput}");
+        let Value::Float(steady) = field("steady_window") else {
+            panic!("steady_window should be a float");
+        };
+        assert!(steady >= 1.0, "steady window {steady}");
+        let Value::Float(marked) = field("marked_fraction") else {
+            panic!("marked_fraction should be a float");
+        };
+        assert!((0.0..=1.0).contains(&marked), "marked {marked}");
+
+        // Open-loop traced runs still report goodput but no window stats.
+        let mut open = SystemConfig::paper_baseline(TopologyKind::Chain, 1.0).unwrap();
+        open.requests_per_port = 150;
+        open.noc.trace = mn_core::TraceConfig::Counters;
+        let point = CampaignPoint::new(open, Workload::Dct);
+        let result = mn_core::simulate(&point.config, point.workload);
+        let outcome = PointOutcome {
+            point,
+            result: Ok(result),
+            cached: false,
+            host: std::time::Duration::ZERO,
+        };
+        let record = point_record(&outcome);
+        let steady = record
+            .iter()
+            .find(|(key, _)| *key == "steady_window")
+            .unwrap()
+            .1
+            .clone();
+        let Value::Float(steady) = steady else {
+            panic!("steady_window should be a float");
+        };
+        assert!(steady.is_nan(), "open loop has no window series");
     }
 
     #[test]

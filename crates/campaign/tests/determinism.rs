@@ -110,6 +110,46 @@ fn fault_schedules_are_bit_identical_at_any_worker_count() {
     assert_ne!(serial, other);
 }
 
+/// A closed-loop grid exercising both adaptive policies, with multiple
+/// simulated ports so window feedback happens on different workers in
+/// different orders.
+fn closed_loop_grid() -> Vec<CampaignPoint> {
+    let mut points = Vec::new();
+    for topology in [TopologyKind::Ring, TopologyKind::Tree] {
+        for policy in [
+            mn_core::WindowPolicyKind::Aimd,
+            mn_core::WindowPolicyKind::Ecn,
+        ] {
+            let mut config = SystemConfig::paper_baseline(topology, 1.0).unwrap();
+            config.requests_per_port = 200;
+            config.simulated_ports = 2;
+            config.host.policy = policy;
+            config.host.window_cap = 16;
+            config.host.initial_window = 4;
+            config.noc.ecn_threshold = 4;
+            points.push(CampaignPoint::new(config, Workload::Backprop));
+        }
+    }
+    points
+}
+
+#[test]
+fn closed_loop_sweeps_are_bit_identical_at_any_worker_count() {
+    let run = |jobs| {
+        Campaign::new(jobs)
+            .quiet()
+            .run(closed_loop_grid())
+            .outcomes
+            .into_iter()
+            .map(|o| codec::encode_result(&o.result.unwrap()))
+            .collect::<Vec<String>>()
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.len(), closed_loop_grid().len());
+    assert_eq!(serial, parallel);
+}
+
 fn scratch_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mn-campaign-it-{tag}-{}", std::process::id()))
 }

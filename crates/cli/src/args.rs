@@ -7,6 +7,7 @@
 use std::error::Error;
 use std::fmt;
 
+use mn_core::WindowPolicyKind;
 use mn_noc::ArbiterKind;
 use mn_topo::{NvmPlacement, TopologyKind};
 use mn_workloads::Workload;
@@ -103,6 +104,24 @@ pub struct TraceArgs {
     pub out: Option<std::path::PathBuf>,
 }
 
+/// Arguments of `mncube closedloop`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopArgs {
+    /// MN topology.
+    pub topology: TopologyKind,
+    /// Workload proxy.
+    pub workload: Workload,
+    /// Congestion-control window policy.
+    pub policy: WindowPolicyKind,
+    /// Initial window override in outstanding requests (the cap is raised
+    /// to match when needed).
+    pub window: Option<u32>,
+    /// Requests per port.
+    pub requests: u64,
+    /// RNG seed override.
+    pub seed: Option<u64>,
+}
+
 /// A parsed `mncube` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -117,6 +136,9 @@ pub enum Command {
     /// Simulate one port with full tracing and export a Perfetto trace
     /// plus a latency-decomposition report.
     Trace(TraceArgs),
+    /// Simulate one configuration with the closed-loop host model and
+    /// report window/RTT/goodput alongside the usual run report.
+    ClosedLoop(ClosedLoopArgs),
     /// Print usage.
     Help,
 }
@@ -133,6 +155,8 @@ USAGE:
     mncube sweep   [--topology T] [--workload W] [--requests N]
     mncube trace   [--topology T] [--workload W] [--dram PCT] [--placement P]
                    [--requests N] [--seed S] [--out FILE]
+    mncube closedloop [--topology T] [--workload W] [--policy PO]
+                   [--window N] [--requests N] [--seed S]
     mncube help
 
 VALUES:
@@ -141,9 +165,12 @@ VALUES:
     PCT: 100 | 75 | 50 | 25 | 0       (DRAM share of capacity)
     P:   first | last                 (NVM placement)
     A:   rr | distance | adaptive | oracle
+    PO:  open | fixed:<n> | aimd | ecn (congestion-control window policy)
 
 'trace' writes a Chrome/Perfetto trace.json (open in ui.perfetto.dev);
 --out overrides the destination, else $MN_TRACE_DIR/trace.json is used.
+'closedloop' gates injection on an outstanding-request window and reports
+the steady-state window, RTT, and goodput (ecn also enables link marking).
 ";
 
 fn parse_topology(s: &str) -> Result<TopologyKind, ArgError> {
@@ -186,6 +213,10 @@ fn parse_arbiter(s: &str) -> Result<ArbiterKind, ArgError> {
 fn parse_u64(flag: &str, s: &str) -> Result<u64, ArgError> {
     s.parse()
         .map_err(|_| err(format!("{flag} expects a number, got '{s}'")))
+}
+
+fn parse_policy(s: &str) -> Result<WindowPolicyKind, ArgError> {
+    s.parse().map_err(|e| err(format!("{e}")))
 }
 
 /// A tiny `--flag value` cursor.
@@ -335,6 +366,34 @@ impl Command {
                 }
                 Ok(Command::Trace(parsed))
             }
+            "closedloop" | "closed-loop" => {
+                let mut parsed = ClosedLoopArgs {
+                    topology: TopologyKind::Tree,
+                    workload: Workload::Dct,
+                    policy: WindowPolicyKind::Aimd,
+                    window: None,
+                    requests: 6_000,
+                    seed: None,
+                };
+                while let Some(flag) = cursor.next_flag() {
+                    match flag {
+                        "--topology" => parsed.topology = parse_topology(cursor.value(flag)?)?,
+                        "--workload" => parsed.workload = parse_workload(cursor.value(flag)?)?,
+                        "--policy" => parsed.policy = parse_policy(cursor.value(flag)?)?,
+                        "--window" => {
+                            let window = parse_u64(flag, cursor.value(flag)?)?;
+                            if window == 0 {
+                                return Err(err("--window must admit at least one request"));
+                            }
+                            parsed.window = Some(window.min(u64::from(u32::MAX)) as u32);
+                        }
+                        "--requests" => parsed.requests = parse_u64(flag, cursor.value(flag)?)?,
+                        "--seed" => parsed.seed = Some(parse_u64(flag, cursor.value(flag)?)?),
+                        other => return Err(err(format!("unknown flag '{other}' for closedloop"))),
+                    }
+                }
+                Ok(Command::ClosedLoop(parsed))
+            }
             other => Err(err(format!(
                 "unknown subcommand '{other}' (try 'mncube help')"
             ))),
@@ -476,6 +535,46 @@ mod tests {
 
         // The arbiter knob belongs to run/compare, not trace.
         assert!(parse(&["trace", "--arbiter", "rr"]).is_err());
+    }
+
+    #[test]
+    fn closedloop_parses_flags_and_defaults() {
+        let Command::ClosedLoop(a) = parse(&["closedloop"]).unwrap() else {
+            panic!("expected closedloop");
+        };
+        assert_eq!(a.topology, TopologyKind::Tree);
+        assert_eq!(a.policy, WindowPolicyKind::Aimd);
+        assert_eq!(a.window, None);
+
+        let Command::ClosedLoop(a) = parse(&[
+            "closed-loop",
+            "--topology",
+            "ring",
+            "--workload",
+            "nw",
+            "--policy",
+            "fixed:8",
+            "--window",
+            "16",
+            "--requests",
+            "500",
+            "--seed",
+            "7",
+        ])
+        .unwrap() else {
+            panic!("expected closedloop");
+        };
+        assert_eq!(a.topology, TopologyKind::Ring);
+        assert_eq!(a.workload, Workload::Nw);
+        assert_eq!(a.policy, WindowPolicyKind::Fixed(8));
+        assert_eq!(a.window, Some(16));
+        assert_eq!(a.requests, 500);
+        assert_eq!(a.seed, Some(7));
+
+        let e = parse(&["closedloop", "--policy", "tcp"]).unwrap_err();
+        assert!(e.to_string().contains("tcp"));
+        let e = parse(&["closedloop", "--window", "0"]).unwrap_err();
+        assert!(e.to_string().contains("at least one"));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use mn_core::{speedup_pct, RunResult, SystemConfig};
 use mn_topo::{render_ascii, Placement, Topology, TopologyKind, TopologyMetrics};
 use mn_workloads::Workload;
 
-use crate::args::{ArgError, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs, TraceArgs, USAGE};
+use crate::args::{
+    ArgError, ClosedLoopArgs, Command, CompareArgs, RunArgs, SweepArgs, TopoArgs, TraceArgs, USAGE,
+};
 
 fn build_config(
     topology: TopologyKind,
@@ -28,6 +30,19 @@ fn build_config(
     // combine with MN_CACHE=off for fresh instrumented runs.
     if let Some(mode) = mn_campaign::trace_from_env() {
         config.noc.trace = mode;
+    }
+    // The closed-loop host knobs, like the figure binaries honor. A
+    // non-open policy joins the fingerprint, so cached open-loop results
+    // are never served for these runs.
+    if let Some(policy) = mn_campaign::host_policy_from_env() {
+        config.host.policy = policy;
+        if policy == mn_core::WindowPolicyKind::Ecn && config.noc.ecn_threshold == 0 {
+            config.noc.ecn_threshold = 6;
+        }
+    }
+    if let Some(window) = mn_campaign::host_window_from_env() {
+        config.host.initial_window = window;
+        config.host.window_cap = config.host.window_cap.max(window);
     }
     Ok(config)
 }
@@ -257,6 +272,43 @@ fn trace(args: &TraceArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+fn closedloop(args: &ClosedLoopArgs) -> Result<String, ArgError> {
+    let mut config = build_config(
+        args.topology,
+        100,
+        mn_topo::NvmPlacement::Last,
+        args.requests,
+    )?;
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config.host.policy = args.policy;
+    if let Some(window) = args.window {
+        config.host.initial_window = window;
+        config.host.window_cap = config.host.window_cap.max(window);
+    }
+    // ECN windows need links that mark; match the closed_loop_sweep
+    // binary's threshold when the config leaves marking off.
+    if args.policy == mn_core::WindowPolicyKind::Ecn && config.noc.ecn_threshold == 0 {
+        config.noc.ecn_threshold = 6;
+    }
+    if !config.noc.trace.enabled() {
+        config.noc.trace = mn_core::TraceConfig::Counters;
+    }
+
+    // Like `trace`, this bypasses the campaign engine: the closed-loop
+    // rollup (window series, RTT, marked fraction) rides on telemetry,
+    // which cache hits drop.
+    let result =
+        mn_core::try_simulate(&config, args.workload).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = report(&result);
+    let _ = writeln!(out, "window policy   {}", args.policy);
+    if let Some(telemetry) = &result.telemetry {
+        out.push_str(&telemetry.report());
+    }
+    Ok(out)
+}
+
 /// Executes a parsed command against an explicit campaign engine,
 /// returning the text to print.
 ///
@@ -272,6 +324,7 @@ pub fn execute_with(campaign: &Campaign, command: &Command) -> Result<String, Ar
         Command::Topo(args) => topo(args),
         Command::Sweep(args) => sweep(campaign, args),
         Command::Trace(args) => trace(args),
+        Command::ClosedLoop(args) => closedloop(args),
     }
 }
 
@@ -386,6 +439,26 @@ mod tests {
         assert!(json.contains("\"name\":\"network\""));
         assert!(json.contains("\"name\":\"memory controllers\""));
         assert!(json.contains("\"BankAccess\""));
+    }
+
+    #[test]
+    fn closedloop_reports_the_window_rollup() {
+        let text = execute_with(
+            &bare(),
+            &Command::ClosedLoop(crate::args::ClosedLoopArgs {
+                topology: TopologyKind::Chain,
+                workload: Workload::Nw,
+                policy: mn_core::WindowPolicyKind::Ecn,
+                window: Some(4),
+                requests: 300,
+                seed: Some(1),
+            }),
+        )
+        .unwrap();
+        assert!(text.contains("configuration   100%-C"));
+        assert!(text.contains("window policy   ecn"));
+        assert!(text.contains("closed loop"));
+        assert!(text.contains("window steady"));
     }
 
     #[test]

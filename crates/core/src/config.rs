@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use mn_host::HostConfig;
 use mn_noc::{ArbiterKind, NocConfig};
 use mn_topo::{NvmPlacement, Placement, TopologyError, TopologyKind};
 
@@ -64,6 +65,13 @@ pub struct SystemConfig {
     pub topology: TopologyKind,
     /// Interconnect parameters (link timing, buffers, arbitration).
     pub noc: NocConfig,
+    /// Closed-loop host model: an outstanding-request window gating
+    /// injection, with a pluggable congestion-control policy. The default
+    /// ([`HostConfig::open`]) disables the gate entirely — open-loop
+    /// behavior and fingerprints are untouched; host parameters join the
+    /// fingerprint only when a policy is active (same discipline as the
+    /// fault model).
+    pub host: HostConfig,
     /// Allow writes onto skip links during write bursts (§5.3). Only
     /// meaningful on [`TopologyKind::SkipList`].
     pub write_burst_routing: bool,
@@ -117,6 +125,7 @@ impl SystemConfig {
             nvm_placement: NvmPlacement::Last,
             topology,
             noc: NocConfig::paper_baseline(),
+            host: HostConfig::open(),
             write_burst_routing: false,
             banks_per_quadrant: 64,
             controller_queue: 32,

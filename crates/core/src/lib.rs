@@ -55,7 +55,8 @@ pub use error::SimError;
 pub use experiment::{
     baseline_chain_config, mix_grid, ratio_label, speedup_pct, ConfigPoint, MixSpec,
 };
-pub use mn_telemetry::{TelemetrySummary, TraceConfig};
+pub use mn_host::{HostConfig, WindowPolicyKind};
+pub use mn_telemetry::{HostSummary, TelemetrySummary, TraceConfig};
 pub use port::{PortObservation, PortTelemetry};
 pub use stats::{EnergyBreakdown, LatencyBreakdown, RunResult};
 pub use system::{

@@ -36,14 +36,15 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use mn_host::WindowPolicyImpl;
 use mn_mem::{Completion, EnergyPj, MemAccess, MemTechSpec, QuadrantController};
 use mn_noc::{NetTelemetry, Network, Packet, PacketKind, WriteBurstDetector};
 use mn_sim::{
     counters, Histogram, KernelCounters, SeqSlab, SimDuration, SimRng, SimTime, Watchdog,
 };
 use mn_telemetry::{
-    Decomposition, FairnessTracker, LifecycleTracer, TelemetrySummary, TraceConfig, TraceEvent,
-    TraceEventKind,
+    Decomposition, FairnessTracker, HostSummary, LifecycleTracer, TelemetrySummary, TraceConfig,
+    TraceEvent, TraceEventKind,
 };
 use mn_topo::{CubeTech, NodeId, PathClass, Topology, TopologyKind};
 use mn_workloads::{MemRef, TraceGenerator};
@@ -225,6 +226,14 @@ pub(crate) struct PortSim {
     outstanding: usize,
     outstanding_writes: usize,
     write_cap: usize,
+    /// Closed-loop congestion window gating injection; `None` is the
+    /// open loop (the default), where injection is bounded only by the
+    /// wavefront slots and network backpressure — the hot path then pays
+    /// a single predicted-not-taken branch.
+    window_policy: Option<WindowPolicyImpl>,
+    /// Closed-loop rollup (window series, RTT, mark fraction); populated
+    /// only when a policy is active *and* telemetry is enabled.
+    host_summary: Option<HostSummary>,
     /// In-flight request state keyed by the sequential token. Tokens are
     /// issued FIFO through `host_queue`, so insertion is monotonic and the
     /// slab's window stays proportional to the outstanding count.
@@ -414,6 +423,11 @@ impl PortSim {
             outstanding: 0,
             outstanding_writes: 0,
             write_cap: config.host_write_buffer,
+            window_policy: config.host.enabled().then(|| {
+                config.host.validate();
+                config.host.policy.instantiate(&config.host)
+            }),
+            host_summary: (config.host.enabled() && trace_mode.enabled()).then(HostSummary::new),
             inflight: SeqSlab::with_capacity(2 * slot_hint * burst_hint),
             pending_responses: Vec::with_capacity(slot_hint * burst_hint),
             completed: 0,
@@ -506,6 +520,7 @@ impl PortSim {
                     fairness: self.fairness,
                     queue_depth: net.queue_depth.clone(),
                     peak_link_utilization: net.peak_link_utilization(),
+                    host: self.host_summary.take(),
                 },
                 net,
                 ctrl_tracer: self.ctrl_tracer,
@@ -633,6 +648,14 @@ impl PortSim {
             if offered_at > now {
                 break;
             }
+            // Closed loop: the congestion window caps outstanding
+            // requests. `window()` is always ≥ 1, so the gate re-opens
+            // as soon as a response drains — no deadlock is possible.
+            if let Some(policy) = &self.window_policy {
+                if self.outstanding >= policy.window() as usize {
+                    break;
+                }
+            }
             // The host write buffer is full: stall issue until acks drain.
             if r.is_write && self.outstanding_writes >= self.write_cap {
                 break;
@@ -710,6 +733,10 @@ impl PortSim {
             self.hop_sum += u64::from(d.packet.hops());
             let rec = self.inflight.get_mut(token).expect("in flight");
             rec.arrived_at_cube = d.arrived_at;
+            // Carry any ECN mark picked up en route onto the stored
+            // request, so `Packet::response_to` echoes it back to the
+            // host (marks can also be added on the return path).
+            rec.request.marked |= d.packet.marked;
             self.breakdown
                 .to_memory
                 .record(d.arrived_at.saturating_since(rec.offered_at));
@@ -873,6 +900,15 @@ impl PortSim {
         }
         self.outstanding -= 1;
         self.completed += 1;
+        // Closed loop: every completion — reads and write acks alike —
+        // feeds its RTT and ECN mark back into the window policy.
+        if let Some(policy) = &mut self.window_policy {
+            let rtt = at.saturating_since(rec.offered_at);
+            policy.on_response(rtt, response.marked);
+            if let Some(summary) = &mut self.host_summary {
+                summary.record(at.as_ps(), policy.window(), rtt, response.marked);
+            }
+        }
         self.last_response_at = self.last_response_at.max(at);
         if response.kind == PacketKind::WriteAck {
             self.writes += 1;
@@ -1183,5 +1219,101 @@ mod tests {
         let b = run(&c, Workload::Kmeans);
         assert_eq!(a.wall, b.wall);
         assert_eq!(a.kernel_events(), b.kernel_events());
+    }
+
+    #[test]
+    fn open_loop_default_has_no_policy_and_identical_results() {
+        // A config whose host block is the default must behave byte-for-
+        // byte like one that never heard of mn-host: same wall clock and
+        // event stream as the pinned expectations of the other tests.
+        let c = quick_config(TopologyKind::Chain, 1.0);
+        assert!(!c.host.enabled());
+        let r = run(&c, Workload::Dct);
+        assert_eq!(r.reads + r.writes, 500);
+    }
+
+    #[test]
+    fn fixed_window_throttles_and_completes() {
+        use mn_host::WindowPolicyKind;
+        let open = run(&quick_config(TopologyKind::Chain, 1.0), Workload::Bit);
+        let mut c = quick_config(TopologyKind::Chain, 1.0);
+        c.host.policy = WindowPolicyKind::Fixed(1);
+        let throttled = run(&c, Workload::Bit);
+        // One outstanding request at a time still finishes the trace —
+        // the gate can never deadlock — but serializes the round trips.
+        assert_eq!(throttled.reads + throttled.writes, 500);
+        assert!(
+            throttled.wall > open.wall,
+            "window of 1 must stretch the run: {} vs {}",
+            throttled.wall,
+            open.wall
+        );
+    }
+
+    #[test]
+    fn closed_loop_run_is_deterministic() {
+        use mn_host::WindowPolicyKind;
+        let mut c = quick_config(TopologyKind::SkipList, 1.0);
+        c.host.policy = WindowPolicyKind::Aimd;
+        let a = run(&c, Workload::Kmeans);
+        let b = run(&c, Workload::Kmeans);
+        assert_eq!(a.wall, b.wall);
+        assert_eq!(a.kernel_events(), b.kernel_events());
+    }
+
+    #[test]
+    fn closed_loop_rollup_rides_on_telemetry() {
+        use mn_host::WindowPolicyKind;
+        let mut c = quick_config(TopologyKind::Chain, 1.0);
+        c.host.policy = WindowPolicyKind::Ecn;
+        c.noc.ecn_threshold = 4;
+        c.noc.trace = TraceConfig::Counters;
+        let r = run(&c, Workload::Bit);
+        let t = r.telemetry().expect("counters mode collects the rollup");
+        let host = t.summary.host.as_ref().expect("closed loop records");
+        assert_eq!(host.responses, 500);
+        assert!(host.peak_window >= host.min_window);
+        assert!(host.min_window >= 1);
+        assert!(host.rtt.mean_ns() > 0.0);
+        assert!(host.window.total_samples() == 500);
+        // The report grows a closed-loop section.
+        assert!(t.summary.report().contains("closed loop"));
+
+        // Open-loop telemetry keeps host: None.
+        let mut c = quick_config(TopologyKind::Chain, 1.0);
+        c.noc.trace = TraceConfig::Counters;
+        let r = run(&c, Workload::Bit);
+        assert!(r.telemetry().unwrap().summary.host.is_none());
+    }
+
+    /// Satellite property: AIMD/ECN windows stay within `[1, cap]` under
+    /// random fault schedules (the in-tree xoshiro seed loop).
+    #[test]
+    fn adaptive_windows_bounded_under_fault_schedules() {
+        use mn_host::WindowPolicyKind;
+        for seed in 0..6u64 {
+            let mut sr = SimRng::seed_from(0xFA11_0000 ^ seed);
+            for kind in [WindowPolicyKind::Aimd, WindowPolicyKind::Ecn] {
+                let mut c = quick_config(TopologyKind::Ring, 1.0);
+                c.requests_per_port = 300;
+                c.host.policy = kind;
+                c.host.window_cap = 16;
+                c.noc.ecn_threshold = 3;
+                c.noc.trace = TraceConfig::Counters;
+                c.noc.fault.transient_rate = sr.unit() * 0.05;
+                c.noc.fault.degrade_rate = sr.unit() * 0.1;
+                c.noc.fault.seed = sr.next_u64();
+                let r = run(&c, Workload::Kmeans);
+                let t = r.telemetry().expect("rollup present");
+                let host = t.summary.host.as_ref().expect("closed loop records");
+                assert!(
+                    host.min_window >= 1 && host.peak_window <= c.host.window_cap,
+                    "{kind:?} window range [{}, {}] escapes [1, {}] (seed {seed})",
+                    host.min_window,
+                    host.peak_window,
+                    c.host.window_cap
+                );
+            }
+        }
     }
 }

@@ -63,6 +63,14 @@ pub struct NocConfig {
     pub duplex: LinkDuplex,
     /// Transport energy per bit per hop, picojoules (§5: 5 pJ/bit/hop).
     pub transport_pj_per_bit_hop: f64,
+    /// ECN marking threshold, in packets. When nonzero, a link that
+    /// forwards a packet while its departure input buffer holds at least
+    /// this many packets (the forwarded one included) sets the packet's
+    /// congestion mark; the closed-loop host's `Ecn` window policy reacts
+    /// to marks echoed on responses. `0` (the default, and the paper
+    /// baseline) disables marking entirely — the branch never fires, so
+    /// open-loop results are byte-identical.
+    pub ecn_threshold: u32,
     /// Link-fault injection (disabled in the paper baseline; see
     /// [`FaultConfig`]).
     pub fault: FaultConfig,
@@ -93,6 +101,7 @@ impl NocConfig {
             arbiter: ArbiterKind::RoundRobin,
             duplex: LinkDuplex::Half,
             transport_pj_per_bit_hop: 5.0,
+            ecn_threshold: 0,
             fault: FaultConfig::none(),
             trace: mn_telemetry::TraceConfig::Off,
         }
@@ -134,6 +143,12 @@ impl NocConfig {
         );
         assert!(self.buffer_packets > 0, "buffers need capacity");
         assert!(self.ejection_packets > 0, "ejection buffers need capacity");
+        assert!(
+            self.ecn_threshold as usize <= self.buffer_packets,
+            "ecn_threshold ({}) can never fire above buffer_packets ({})",
+            self.ecn_threshold,
+            self.buffer_packets
+        );
         self.fault.validate();
     }
 }
@@ -157,6 +172,17 @@ mod tests {
         assert_eq!(c.packet_bytes(PacketKind::WriteAck), 16);
         assert_eq!(c.external_link.fixed_latency, SimDuration::from_ns(2));
         assert!((c.transport_pj_per_bit_hop - 5.0).abs() < f64::EPSILON);
+        assert_eq!(c.ecn_threshold, 0, "ECN marking must default off");
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fire")]
+    fn validate_rejects_unreachable_ecn_threshold() {
+        let c = NocConfig {
+            ecn_threshold: 99,
+            ..NocConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

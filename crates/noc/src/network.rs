@@ -408,6 +408,24 @@ impl Network {
         // this under heavy transients; the hint only avoids the early
         // doubling reallocations in every simulation's warm-up.
         let event_capacity = 2 * (topo.node_count() + 2 * topo.link_count());
+        // Tune the ladder bucket width to the topology's event horizon:
+        // the minimum single-link traversal (fixed latency + control-
+        // packet serialization) is the shortest interval the simulation
+        // routinely schedules across, so one 256-bucket window then spans
+        // a few hundred of the *fastest* hops regardless of the SerDes
+        // timing swept. Clamped to [128, 65536] ps so degenerate timings
+        // neither collapse the window nor blow up bucket granularity;
+        // linkless topologies keep the kernel default. Pop order — and
+        // hence every result byte — is width-independent (see
+        // `mn_sim::ladder`); only the spill/rewindow counters move.
+        let bucket_ps = topo
+            .link_ids()
+            .map(|l| {
+                let timing = config.link_timing(topo.link(l).class);
+                (timing.fixed_latency + timing.serialize(config.control_bytes)).as_ps()
+            })
+            .min()
+            .map_or(mn_sim::ladder::BUCKET_PS, |ps| ps.clamp(128, 65_536));
         Ok(Network {
             routes,
             config,
@@ -418,7 +436,7 @@ impl Network {
             packets: GenArena::with_capacity(arena_capacity),
             link_free_at: vec![[SimTime::ZERO; 2]; topo.link_count()],
             neighbor_ports,
-            events: EventQueue::with_capacity(event_capacity),
+            events: EventQueue::with_capacity_and_bucket(event_capacity, bucket_ps),
             arb_clean: vec![false; topo.node_count()],
             last_arb: vec![SimTime::ZERO; topo.node_count()],
             ready_pending: vec![false; topo.node_count()],
@@ -789,10 +807,26 @@ impl Network {
             .queue
             .pop_front()
             .expect("selected head exists");
+        let departed_depth = self.bufs[meta.buf_idx(in_port, vc)].queue.len() + 1;
         self.buffered[node.index()] -= 1;
         self.bufs[neighbor_meta.buf_idx(neighbor_port, vc)].reserved += 1;
 
-        let moved = self.packets.get(handle).expect("selected packet is live");
+        let moved = self
+            .packets
+            .get_mut(handle)
+            .expect("selected packet is live");
+        // ECN: forwarding out of a congested input buffer stamps the
+        // packet (depth measured including the departing packet, so a
+        // threshold equal to the buffer capacity is still reachable).
+        // Threshold 0 — the default — never marks, keeping the open-loop
+        // byte-identity contract.
+        if self.config.ecn_threshold > 0
+            && departed_depth >= self.config.ecn_threshold as usize
+            && !moved.marked
+        {
+            moved.marked = true;
+            self.stats.marked.incr();
+        }
         let kind = moved.kind;
         let id = moved.id;
         let timing = self.config.link_timing(link_info.class);
@@ -862,6 +896,13 @@ impl Network {
     /// set the heap had to sustain (coalescing drives this down).
     pub fn event_queue_peak(&self) -> usize {
         self.events.peak_len()
+    }
+
+    /// The ladder bucket width the event queue was tuned to at
+    /// construction: the topology's minimum link traversal time, clamped
+    /// to [128, 65536] ps (kernel default for linkless topologies).
+    pub fn event_bucket_width_ps(&self) -> u64 {
+        self.events.bucket_width_ps()
     }
 
     /// Snapshot of the kernel-level performance counters: event-queue
@@ -1026,6 +1067,58 @@ mod tests {
         assert_eq!(accepted, 2);
         let deliveries = run_to_quiescence(&mut net);
         assert_eq!(deliveries.len(), 2);
+    }
+
+    #[test]
+    fn ecn_marks_congested_forwards_without_perturbing_timing() {
+        let topo = chain(6);
+        let dst = topo.cube_at_position(6).unwrap();
+        let run = |ecn_threshold| {
+            let cfg = NocConfig {
+                ecn_threshold,
+                ..NocConfig::default()
+            };
+            let mut net = Network::new(&topo, cfg);
+            for t in 0..6 {
+                let pkt = Packet::request(t, PacketKind::ReadRequest, topo.host(), dst);
+                net.inject(topo.host(), 0, pkt, SimTime::ZERO).unwrap();
+            }
+            let deliveries = run_to_quiescence(&mut net);
+            let marked = net.stats().marked.value();
+            (deliveries, marked)
+        };
+        let (plain, none_marked) = run(0);
+        assert_eq!(none_marked, 0);
+        assert!(plain.iter().all(|d| !d.packet.marked));
+        // A burst of 6 through one host port queues well past depth 2.
+        let (marked_run, marked) = run(2);
+        assert!(marked > 0, "burst traffic must trip a threshold of 2");
+        assert!(marked_run.iter().any(|d| d.packet.marked));
+        // Marking is observational: identical nodes and arrival times.
+        for (a, b) in plain.iter().zip(&marked_run) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.arrived_at, b.arrived_at);
+            assert_eq!(a.packet.id, b.packet.id);
+        }
+    }
+
+    #[test]
+    fn bucket_width_derives_from_fastest_link() {
+        // Default chain: external links only, min traversal
+        // 16 B x 33 ps/B + 2 ns = 2528 ps.
+        let topo = chain(3);
+        let net = Network::new(&topo, NocConfig::default());
+        assert_eq!(net.event_bucket_width_ps(), 16 * 33 + 2000);
+        // Sub-128 ps traversals clamp up so the window stays useful.
+        let cfg = NocConfig {
+            external_link: crate::config::LinkTiming {
+                ps_per_byte: 1,
+                fixed_latency: mn_sim::SimDuration::ZERO,
+            },
+            ..NocConfig::default()
+        };
+        let net = Network::new(&topo, cfg);
+        assert_eq!(net.event_bucket_width_ps(), 128);
     }
 
     #[test]

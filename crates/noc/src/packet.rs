@@ -125,6 +125,12 @@ pub struct Packet {
     pub src_is_nvm: bool,
     /// When the packet was injected (set by the network).
     pub injected_at: SimTime,
+    /// ECN congestion mark: set by a link whose departure buffer is at or
+    /// above `NocConfig::ecn_threshold` when the packet is forwarded, and
+    /// echoed from a request onto its response so the host's `Ecn` window
+    /// policy sees end-to-end congestion. Never set when the threshold is
+    /// 0 (the default).
+    pub marked: bool,
     hops: u32,
 }
 
@@ -151,12 +157,15 @@ impl Packet {
             token,
             src_is_nvm: false,
             injected_at: SimTime::ZERO,
+            marked: false,
             hops: 0,
         }
     }
 
     /// The response to `request`, traveling back on the same path class,
-    /// flagged with whether the answering cube is NVM.
+    /// flagged with whether the answering cube is NVM. The request's ECN
+    /// mark is echoed onto the response (marks can also be added en route
+    /// back), so the host observes congestion in either direction.
     ///
     /// # Panics
     ///
@@ -171,6 +180,7 @@ impl Packet {
             token: request.token,
             src_is_nvm,
             injected_at: SimTime::ZERO,
+            marked: request.marked,
             hops: 0,
         }
     }
@@ -246,6 +256,15 @@ mod tests {
         assert_eq!(r.token, 9);
         let w = Packet::request(9, PacketKind::WriteRequest, NodeId(0), NodeId(3));
         assert_eq!(w.class, PathClass::Write);
+    }
+
+    #[test]
+    fn response_echoes_request_mark() {
+        let mut r = Packet::request(5, PacketKind::ReadRequest, NodeId(0), NodeId(3));
+        assert!(!r.marked);
+        assert!(!Packet::response_to(&r, false).marked);
+        r.marked = true;
+        assert!(Packet::response_to(&r, false).marked);
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub struct NetStats {
     /// Total bit-hops: sum over traversals of packet size in bits. Multiply
     /// by the pJ/bit/hop figure for transport energy (§5's energy model).
     pub bit_hops: u64,
+    /// Packets that received an ECN congestion mark on any link (counted
+    /// once per marking event, not per marked packet delivered). Always 0
+    /// when `NocConfig::ecn_threshold` is 0.
+    pub marked: Counter,
     /// Per-link, per-direction busy time, indexed `link * 2 + dir`.
     pub(crate) link_busy: Vec<SimDuration>,
     /// Arbitration rounds run.
@@ -28,6 +32,7 @@ impl NetStats {
             delivered: Counter::new(),
             hops: Counter::new(),
             bit_hops: 0,
+            marked: Counter::new(),
             link_busy: vec![SimDuration::ZERO; links * 2],
             arbitration_rounds: Counter::new(),
         }

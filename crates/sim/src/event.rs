@@ -101,6 +101,23 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with pre-allocated capacity and a tuned
+    /// ladder bucket width in picoseconds (clamped to ≥ 1). Callers that
+    /// know their scheduling horizon — e.g. the NoC, which derives it
+    /// from the minimum link traversal time — use this to keep
+    /// [`EventQueue::bucket_spills`] near zero across timing sweeps.
+    /// Pop order is width-independent, so results are unchanged.
+    pub fn with_capacity_and_bucket(capacity: usize, bucket_ps: u64) -> Self {
+        EventQueue {
+            ladder: LadderQueue::with_capacity_and_bucket(capacity, bucket_ps),
+        }
+    }
+
+    /// The ladder bucket width in picoseconds this queue was built with.
+    pub fn bucket_width_ps(&self) -> u64 {
+        self.ladder.bucket_width_ps()
+    }
+
     /// Schedules `event` to fire at `time`.
     ///
     /// # Panics

@@ -39,11 +39,20 @@ use crate::time::SimTime;
 /// router-network simulation.
 pub const N_BUCKETS: usize = 256;
 
-/// Bucket width in picoseconds. Sized so that one window
+/// Default bucket width in picoseconds. Sized so that one window
 /// (`N_BUCKETS * BUCKET_PS` ≈ 131 ns) covers the typical scheduling
 /// horizon of link serialization (~0.5 ns), SerDes latency (2 ns), and
 /// link-occupancy wakeups (tens of ns); farther events take the overflow
 /// rung and cost one extra move at the next rewindow.
+///
+/// Since kernel v4 the width is a per-instance field — callers that know
+/// their event horizon (e.g. `mn-noc`, which derives it from the
+/// topology's minimum link traversal time) pass a tuned width through
+/// [`LadderQueue::with_capacity_and_bucket`]. The pop order is
+/// `(time, seq)` regardless of bucket geometry (see the module docs —
+/// the ordering argument never references the width), so two queues with
+/// different widths pop identical sequences; only the spill/rewindow
+/// counters and constant factors differ.
 pub const BUCKET_PS: u64 = 512;
 
 const OCC_WORDS: usize = N_BUCKETS / 64;
@@ -78,8 +87,12 @@ struct Entry<E> {
 #[derive(Debug)]
 pub struct LadderQueue<E> {
     /// The window rung: `buckets[b]` covers
-    /// `[base_ps + b*BUCKET_PS, base_ps + (b+1)*BUCKET_PS)`.
+    /// `[base_ps + b*bucket_ps, base_ps + (b+1)*bucket_ps)`.
     buckets: Vec<VecDeque<Entry<E>>>,
+    /// Width of each bucket in picoseconds ([`BUCKET_PS`] unless tuned at
+    /// construction). Affects only constant factors and the spill
+    /// counters, never the pop order.
+    bucket_ps: u64,
     /// Non-empty-bucket bitmap; bit `b` set ⟺ `buckets[b]` is non-empty.
     occ: [u64; OCC_WORDS],
     /// Picosecond start of bucket 0; re-anchored when the queue empties,
@@ -108,6 +121,7 @@ impl<E> LadderQueue<E> {
     pub fn new() -> Self {
         LadderQueue {
             buckets: (0..N_BUCKETS).map(|_| VecDeque::new()).collect(),
+            bucket_ps: BUCKET_PS,
             occ: [0; OCC_WORDS],
             base_ps: 0,
             cur: 0,
@@ -141,6 +155,25 @@ impl<E> LadderQueue<E> {
             bucket.reserve(per_bucket);
         }
         q
+    }
+
+    /// Like [`LadderQueue::with_capacity`], but with a caller-tuned bucket
+    /// width (clamped to at least 1 ps) instead of the [`BUCKET_PS`]
+    /// default. Use when the event horizon is known at construction — the
+    /// NoC derives it from the minimum link traversal time so one window
+    /// always spans a few hundred link hops, keeping spills near zero
+    /// across SerDes sweeps. Bit-reproducibility note: the pop order is
+    /// `(time, seq)` for *any* width, so tuning this never changes
+    /// results.
+    pub fn with_capacity_and_bucket(capacity: usize, bucket_ps: u64) -> Self {
+        let mut q = LadderQueue::with_capacity(capacity);
+        q.bucket_ps = bucket_ps.max(1);
+        q
+    }
+
+    /// The bucket width in picoseconds this queue was built with.
+    pub fn bucket_width_ps(&self) -> u64 {
+        self.bucket_ps
     }
 
     #[inline]
@@ -212,7 +245,7 @@ impl<E> LadderQueue<E> {
             self.set_occ(0);
             return;
         };
-        let idx = (off / BUCKET_PS) as usize;
+        let idx = (off / self.bucket_ps) as usize;
         if idx >= N_BUCKETS {
             self.spills += 1;
             self.overflow.push(entry);
@@ -265,7 +298,7 @@ impl<E> LadderQueue<E> {
         }
         self.base_ps = t;
         for entry in stash.drain(..) {
-            let idx = ((entry.time.as_ps() - t) / BUCKET_PS) as usize;
+            let idx = ((entry.time.as_ps() - t) / self.bucket_ps) as usize;
             if idx >= N_BUCKETS {
                 // Strictly below every pre-existing overflow time (the
                 // window/overflow boundary invariant), so per-instant seq
@@ -313,7 +346,7 @@ impl<E> LadderQueue<E> {
         let mut kept = std::mem::take(&mut self.scratch);
         debug_assert!(kept.is_empty());
         for entry in pending.drain(..) {
-            let idx = ((entry.time.as_ps() - min_t) / BUCKET_PS) as usize;
+            let idx = ((entry.time.as_ps() - min_t) / self.bucket_ps) as usize;
             if idx < N_BUCKETS {
                 self.buckets[idx].push_back(entry);
                 self.set_occ(idx);
@@ -543,5 +576,55 @@ mod tests {
         q.push(SimTime::from_ns(10), ());
         q.pop();
         q.push(SimTime::from_ns(5), ());
+    }
+
+    /// The pop order is `(time, seq)` regardless of bucket geometry: the
+    /// same interleaved push/pop schedule — chosen to exercise pending
+    /// appends, active-bucket inserts, rebases, spills, and rewindows at
+    /// the narrow widths — pops identically at widths spanning three
+    /// orders of magnitude.
+    #[test]
+    fn pop_order_is_independent_of_bucket_width() {
+        // Chunk bases advance past the previous chunk's maximum so the
+        // interleaved drains below never make a later push "into the
+        // past", while within-chunk times are scrambled.
+        let schedule: Vec<SimTime> = (0..600u64)
+            .map(|k| {
+                let chunk = k / 100;
+                SimTime::from_ps(chunk * 300_000 + (k * 131_071 % 257) * 997 + (k % 7) * 512)
+            })
+            .collect();
+        let mut reference: Option<Vec<(SimTime, usize)>> = None;
+        for width in [1, 97, BUCKET_PS, 65_536] {
+            let mut q = LadderQueue::with_capacity_and_bucket(64, width);
+            assert_eq!(q.bucket_width_ps(), width);
+            let mut got = Vec::new();
+            for (i, chunk) in schedule.chunks(100).enumerate() {
+                for (j, &t) in chunk.iter().enumerate() {
+                    q.push(t, i * 100 + j);
+                }
+                // Interleave partial drains so `now` advances and later
+                // pushes land both before and after the moving window.
+                for _ in 0..40 {
+                    got.push(q.pop().unwrap());
+                }
+            }
+            while let Some(e) = q.pop() {
+                got.push(e);
+            }
+            assert_eq!(got.len(), schedule.len());
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "width {width} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        let mut q = LadderQueue::with_capacity_and_bucket(4, 0);
+        assert_eq!(q.bucket_width_ps(), 1);
+        q.push(SimTime::from_ns(1), 'a');
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), 'a')));
     }
 }

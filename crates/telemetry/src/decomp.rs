@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use mn_sim::{Accumulator, SimDuration};
 
 use crate::fairness::FairnessTracker;
+use crate::host::HostSummary;
 use crate::metrics::QueueDepthStats;
 
 /// The paper's three-way latency split (request NoC / memory array /
@@ -137,6 +138,9 @@ pub struct TelemetrySummary {
     pub queue_depth: QueueDepthStats,
     /// Highest per-bucket utilization observed on any link (0..=1).
     pub peak_link_utilization: f64,
+    /// Closed-loop host rollup — `Some` only when a `mn-host` window
+    /// policy gated injection during the run.
+    pub host: Option<HostSummary>,
 }
 
 impl TelemetrySummary {
@@ -146,6 +150,12 @@ impl TelemetrySummary {
         self.fairness.merge(&other.fairness);
         self.queue_depth.merge(&other.queue_depth);
         self.peak_link_utilization = self.peak_link_utilization.max(other.peak_link_utilization);
+        if let Some(theirs) = &other.host {
+            match &mut self.host {
+                Some(mine) => mine.merge(theirs),
+                None => self.host = Some(theirs.clone()),
+            }
+        }
     }
 
     /// A fig04-style plain-text decomposition + fairness report.
@@ -205,6 +215,18 @@ impl TelemetrySummary {
             "link utilization peak {:.1}%",
             self.peak_link_utilization * 100.0
         );
+        if let Some(host) = &self.host {
+            let _ = writeln!(
+                out,
+                "closed loop      window steady {:.1} (min {} | peak {}) | rtt mean {:.1} ns | marked {:.1}% of {} responses",
+                host.steady_window(),
+                host.min_window,
+                host.peak_window,
+                host.rtt.mean_ns(),
+                host.marked_fraction() * 100.0,
+                host.responses
+            );
+        }
         out
     }
 }
@@ -272,6 +294,25 @@ mod tests {
         assert!(report.contains("peak 4"));
         assert!(report.contains("50.0%"));
         assert!(report.contains("2 hops"));
+    }
+
+    #[test]
+    fn summary_merges_and_reports_host_rollup() {
+        let mut a = TelemetrySummary::default();
+        assert!(a.host.is_none());
+        assert!(!a.report().contains("closed loop"));
+        let mut h = HostSummary::new();
+        h.record(0, 8, SimDuration::from_ns(150), true);
+        let b = TelemetrySummary {
+            host: Some(h),
+            ..TelemetrySummary::default()
+        };
+        a.merge(&b); // None + Some adopts
+        a.merge(&b); // Some + Some folds
+        let host = a.host.as_ref().unwrap();
+        assert_eq!(host.responses, 2);
+        assert!(a.report().contains("closed loop"));
+        assert!(a.report().contains("marked 100.0% of 2 responses"));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   shares quantifying "parking lot" unfairness (§4 of the paper).
 //! - [`TimeSeries`] / [`QueueDepthStats`] — bounded, allocation-free
 //!   per-link utilization series and buffer-occupancy distributions.
+//! - [`HostSummary`] / [`WindowSeries`] — closed-loop host rollups
+//!   (congestion-window time series, RTT, ECN mark fraction) populated
+//!   only when a `mn-host` window policy is active.
 //! - [`FlightRecorder`] — a fixed ring retaining the last N kernel
 //!   events so watchdog trips become post-mortems instead of bare
 //!   errors.
@@ -32,6 +35,7 @@
 mod config;
 mod decomp;
 mod fairness;
+mod host;
 mod metrics;
 mod recorder;
 mod tracer;
@@ -39,6 +43,7 @@ mod tracer;
 pub use config::{ParseTraceConfigError, TraceConfig};
 pub use decomp::{Decomposition, TelemetrySummary};
 pub use fairness::{jain_index, FairnessTracker};
+pub use host::{HostSummary, WindowSeries};
 pub use metrics::{QueueDepthStats, TimeSeries};
 pub use recorder::FlightRecorder;
 pub use tracer::{write_chrome_trace, LifecycleTracer, TraceEvent, TraceEventKind, TraceProcess};
